@@ -1,0 +1,120 @@
+"""Key-size ablation — the designer's HD knob and cost amortization.
+
+Two claims from the paper are exercised here on b14:
+
+* "Independently, the designer may increase the number of key-bits to
+  raise the HD" — wrong-key HD must grow with k;
+* footnote 7: locking cost "are amortized for larger designs" — the area
+  delta of a fixed 128-bit key shrinks as the design scale grows (the
+  keyed restore circuitry is a fixed cost against a growing baseline).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _pipeline import FULL, SEED, lock_config  # noqa: E402
+
+from repro.benchgen import load_itc99
+from repro.locking.atpg_lock import atpg_lock
+from repro.sim.bitparallel import output_words, random_words
+
+KEY_SIZES = (8, 16, 32, 64) if not FULL else (8, 16, 32, 64, 128)
+SCALES = (0.05, 0.08, 0.14) if not FULL else (0.05, 0.08, 0.14, 0.25)
+HD_PATTERNS = 4096
+
+
+def _wrong_key_hd(core, locked, seed: int) -> float:
+    rng = random.Random(seed)
+    words = random_words(core.inputs, HD_PATTERNS, rng)
+    reference = output_words(core, words, HD_PATTERNS)
+    diffs = []
+    for trial in range(3):
+        guess = [rng.randrange(2) for _ in range(locked.key_length)]
+        if tuple(guess) == locked.key:
+            continue
+        outs = output_words(locked.with_key(guess), words, HD_PATTERNS)
+        bits = HD_PATTERNS * len(core.outputs)
+        wrong = sum(
+            (outs[a] ^ reference[b]).bit_count()
+            for a, b in zip(locked.circuit.outputs, core.outputs)
+        )
+        diffs.append(100.0 * wrong / bits)
+    return statistics.mean(diffs)
+
+
+@pytest.fixture(scope="module")
+def keysize_rows():
+    core = load_itc99("b14", seed=SEED).combinational_core()
+    rows = []
+    for k in KEY_SIZES:
+        locked, report = atpg_lock(core, lock_config(key_bits=k))
+        rows.append((k, _wrong_key_hd(core, locked, seed=k), report))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def scale_rows():
+    rows = []
+    for scale in SCALES:
+        core = load_itc99("b14", seed=SEED, scale=scale).combinational_core()
+        locked, report = atpg_lock(core, lock_config(key_bits=32))
+        rows.append((scale, core.num_logic_gates(), report.area_delta_percent))
+    return rows
+
+
+def test_print_keysize(keysize_rows, scale_rows):
+    from repro.utils.tables import render_table
+
+    body = [
+        [k, f"{hd:.1f}", f"{r.area_delta_percent:+.1f}", r.atpg_key_bits]
+        for k, hd, r in keysize_rows
+    ]
+    print()
+    print(
+        render_table(
+            "Key-size sweep on b14 (wrong-key HD should rise with k)",
+            ["key bits", "wrong-key HD %", "area delta %", "ATPG bits"],
+            body,
+        )
+    )
+    body = [
+        [f"{s:.2f}", g, f"{a:+.1f}"] for s, g, a in scale_rows
+    ]
+    print(
+        render_table(
+            "Scale sweep at fixed 32-bit key (footnote 7: cost amortizes)",
+            ["scale", "gates", "area delta %"],
+            body,
+        )
+    )
+
+
+def test_hd_rises_with_key_size(keysize_rows):
+    hds = [hd for _, hd, _ in keysize_rows]
+    assert hds[-1] > hds[0]
+    # monotone up to noise: each doubling should not lose more than 5pp
+    for earlier, later in zip(hds, hds[1:]):
+        assert later > earlier - 5.0
+
+
+def test_wrong_key_always_errs(keysize_rows):
+    for k, hd, _ in keysize_rows:
+        assert hd > 0.0, f"k={k}: a wrong key left no trace"
+
+
+def test_area_cost_amortizes_with_scale(scale_rows):
+    """Footnote 7: fixed-key cost shrinks relative to larger designs."""
+    deltas = [a for _, _, a in scale_rows]
+    assert deltas[-1] < deltas[0]
+
+
+def test_benchmark_lock_kernel(benchmark):
+    core = load_itc99("b14", seed=SEED, scale=0.04).combinational_core()
+    benchmark(lambda: atpg_lock(core, lock_config(key_bits=8)))

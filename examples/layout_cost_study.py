@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fig. 5 in miniature: layout cost of the scheme on one benchmark.
+
+Builds four layouts of b14 — unprotected, Prelift (locked netlist
+through a plain flow), and the secure splits at M4 and M6 — and prints
+the area/power/timing deltas the paper's Fig. 5 reports as boxplots.
+
+Run:  python examples/layout_cost_study.py
+"""
+
+from repro.benchgen import ITC99_PROFILES, load_itc99
+from repro.locking import AtpgLockConfig, atpg_lock
+from repro.phys import (
+    build_locked_layout,
+    build_unprotected_layout,
+    measure_layout_cost,
+)
+
+
+def main() -> None:
+    name = "b14"
+    profile = ITC99_PROFILES[name]
+    core = load_itc99(name).combinational_core()
+    # keep the paper's key:gate ratio (128 bits on a 10k-gate design)
+    key_bits = max(8, round(128 * profile.default_scale))
+    print(f"{name}: {core.num_logic_gates()} gates, key prorated to "
+          f"{key_bits} bits (paper ratio; see DESIGN.md)\n")
+
+    locked, report = atpg_lock(
+        core, AtpgLockConfig(key_bits=key_bits, seed=2019, run_lec=False)
+    )
+    print(f"locking: {len(report.selected_faults)} keyed faults, "
+          f"{len(report.free_faults)} free (redundant) removals, "
+          f"cell area {report.area_original:.0f} -> "
+          f"{report.area_locked:.0f} um^2 "
+          f"({report.area_delta_percent:+.1f}%)\n")
+
+    base_layout = build_unprotected_layout(core, seed=2019)
+    base = measure_layout_cost(
+        core, base_layout.floorplan, base_layout.routing
+    )
+    print(f"{'stage':12s} {'area %':>8s} {'power %':>8s} {'timing %':>9s}")
+    paper = {
+        "prelift": (-12.75, +7.66, +6.40),
+        "M4": (-10.05, +20.34, +6.25),
+        "M6": (-8.83, +15.46, +6.53),
+    }
+
+    prelift = build_locked_layout(locked, seed=2019, prelift=True)
+    stages = {"prelift": prelift}
+    for split in (4, 6):
+        stages[f"M{split}"] = build_locked_layout(
+            locked, split_layer=split, seed=2019
+        )
+    for label, layout in stages.items():
+        cost = measure_layout_cost(
+            layout.circuit, layout.floorplan, layout.routing
+        )
+        delta = cost.delta_percent(base)
+        p = paper[label]
+        print(f"{label:12s} {delta['area']:+8.1f} {delta['power']:+8.1f} "
+              f"{delta['timing']:+9.1f}   (paper avg: "
+              f"{p[0]:+.1f} / {p[1]:+.1f} / {p[2]:+.1f})")
+
+    m4 = stages["M4"]
+    print(f"\nECO after lifting at M4: {m4.lifting.eco_rerouted} nets "
+          f"re-routed, {m4.lifting.eco_buffers} repeaters inserted")
+
+
+if __name__ == "__main__":
+    main()

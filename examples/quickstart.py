@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: lock the FEOL, unlock at the BEOL — on ISCAS c17.
+
+Runs the paper's full flow on the smallest real benchmark:
+
+1. lock c17 with an 8-bit key (ATPG-based fault injection + keyed
+   restore circuitry), verified equivalent by LEC;
+2. build the secure layout: randomized TIE cells, detached placement,
+   key-nets lifted to M5 on stacked vias, split at M4;
+3. mount the state-of-the-art proximity attack (with the paper's
+   key-gate post-processing) on the FEOL view;
+4. report the Table-I/II metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.benchgen import c17
+from repro.core import SplitLockConfig, SplitLockFlow
+from repro.core.config import LayoutConfig
+from repro.core.security import security_bits, theorem1_bound
+from repro.locking import AtpgLockConfig
+
+
+def main() -> None:
+    config = SplitLockConfig(
+        lock=AtpgLockConfig(key_bits=8, max_support=5, max_minterms=16, seed=1),
+        layout=LayoutConfig(seed=1),
+        split_layers=(4,),
+    )
+    flow = SplitLockFlow(config)
+
+    print("== Synthesis stage (lock the FEOL) ==")
+    result = flow.run(c17())
+    report = result.lock_report
+    print(f"  key bits:        {result.locked.key_length}")
+    print(f"  injected faults: {report.selected_faults or ['(random key-gates only)']}")
+    print(f"  LEC verdict:     equivalent = {report.lec_equivalent}")
+    print(f"  cell area:       {report.area_original:.1f} -> "
+          f"{report.area_locked:.1f} um^2")
+
+    print("\n== Layout stage (unlock at the BEOL) ==")
+    layout = result.split_layouts[4]
+    print(f"  die: {layout.floorplan.width_um:.1f} x "
+          f"{layout.floorplan.height_um:.1f} um, "
+          f"{layout.floorplan.num_rows} rows")
+    print(f"  key-nets lifted to M5 on stacked vias: "
+          f"{len(layout.lifting.lifted_nets)}")
+    view = layout.feol_view()
+    print(f"  FEOL view at M4: {len(view.visible_nets)} visible nets, "
+          f"{view.broken_net_count} broken nets, "
+          f"{len(view.key_sink_stubs)} key pins")
+
+    print("\n== Proximity attack on the FEOL ==")
+    evaluation = flow.evaluate_split(result, 4, hd_patterns=4096)
+    ccr = evaluation.ccr
+    print(f"  key logical CCR:  {ccr.key_logical_ccr:.0f}%   "
+          "(50% = random guessing: the attack learned nothing)")
+    print(f"  key physical CCR: {ccr.key_physical_ccr:.0f}%")
+    print(f"  regular-net CCR:  {ccr.regular_ccr:.0f}%")
+    print(f"  HD  = {evaluation.hd_oer.hd_percent:.0f}%   "
+          f"OER = {evaluation.hd_oer.oer_percent:.0f}%")
+
+    print("\n== Formal guarantee (Theorem 1) ==")
+    k = result.locked.key_length
+    print(f"  Pr[key recovery] <= (1/2)^{k} = {theorem1_bound(k):.2e}")
+    print(f"  keyspace after counting FEOL TIE polarities: "
+          f"~2^{security_bits(k, sum(result.locked.key)):.1f}")
+
+
+if __name__ == "__main__":
+    main()

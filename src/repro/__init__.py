@@ -1,0 +1,30 @@
+"""repro — reproduction of "A New Paradigm in Split Manufacturing:
+Lock the FEOL, Unlock at the BEOL" (Sengupta et al., DATE 2019).
+
+The package provides, entirely in Python:
+
+* a gate-level netlist substrate with a 45nm-flavoured cell library,
+  ISCAS ``.bench`` / structural-Verilog I/O and benchmark generators;
+* logic simulation (bit-parallel + event-driven), ATPG (PODEM, fault
+  simulation, exact failing-pattern enumeration), a CDCL SAT solver and
+  miter-based logic equivalence checking;
+* the paper's ATPG-based locking with keyed restore circuitry;
+* a physical-design flow (floorplan, placement, routing, randomized TIE
+  cells, key-net lifting, layout splitting, cost extraction);
+* proximity / ideal / random-guess / SAT attacks and the CCR, HD, OER
+  and PNR metrics;
+* prior-art defense baselines for the paper's Table III.
+
+Quick start::
+
+    from repro.benchgen import c17
+    from repro.core import SplitLockFlow, SplitLockConfig
+
+    flow = SplitLockFlow(SplitLockConfig.with_key_bits(8))
+    result = flow.run(c17())
+    print(flow.evaluate_split(result, split_layer=4))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,109 @@
+"""Single stuck-at fault model and structural fault collapsing.
+
+Faults are located on nets (gate outputs), matching the paper's usage
+("a fault injected at the output of U12", Fig. 4).  The full universe is
+two faults per net; :func:`collapse_faults` prunes structurally equivalent
+ones using the classic rules so that enumeration effort tracks circuit
+size the way ATPG tools report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """Net *net* permanently stuck at logic *value* (0 or 1)."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.net}/sa{self.value}"
+
+
+def all_faults(circuit: Circuit, include_inputs: bool = True) -> list[StuckAtFault]:
+    """The uncollapsed fault universe: every net stuck-at-0 and stuck-at-1.
+
+    TIE-cell outputs are excluded: one of the two faults is the fault-free
+    value and the other is equivalent to faults on the readers.
+    """
+    faults: list[StuckAtFault] = []
+    for gate in circuit.gates.values():
+        if gate.is_tie:
+            continue
+        if gate.is_input and not include_inputs:
+            continue
+        faults.append(StuckAtFault(gate.name, 0))
+        faults.append(StuckAtFault(gate.name, 1))
+    return faults
+
+
+def collapse_faults(circuit: Circuit, faults: list[StuckAtFault] | None = None) -> list[StuckAtFault]:
+    """Drop faults structurally equivalent to a retained representative.
+
+    Rules applied (net-fault view):
+
+    * ``BUF``/``NOT`` with a single-reader fanin: the input-net fault pair
+      is equivalent to the (possibly inverted) output pair — keep the
+      output's.
+    * ``AND``/``NAND``: input-net s-a-controlling (0) is equivalent to the
+      output s-a-(0 for AND / 1 for NAND) when the input net has exactly
+      one reader — keep the output fault.
+    * ``OR``/``NOR``: symmetric with controlling value 1.
+
+    The result is a sound subset: every dropped fault is detected by any
+    test for its representative.
+    """
+    universe = list(faults) if faults is not None else all_faults(circuit)
+    fanout = circuit.fanout_map()
+    dropped: set[StuckAtFault] = set()
+    for gate in circuit.gates.values():
+        ctrl = _controlled_value(gate.gate_type)
+        for net in gate.fanin:
+            if len(fanout[net]) != 1:
+                continue  # fanout stems keep their own faults
+            if gate.gate_type in (GateType.BUF, GateType.NOT):
+                # A buffer/inverter input fault pair maps 1:1 onto the
+                # (possibly inverted) output pair; drop both input faults.
+                dropped.add(StuckAtFault(net, 0))
+                dropped.add(StuckAtFault(net, 1))
+            elif ctrl is not None:
+                dropped.add(StuckAtFault(net, ctrl))
+    return [f for f in universe if f not in dropped]
+
+
+def _controlled_value(gate_type: GateType) -> int | None:
+    if gate_type in (GateType.AND, GateType.NAND):
+        return 0
+    if gate_type in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def internal_faults(circuit: Circuit) -> list[StuckAtFault]:
+    """Collapsed faults on internal combinational nets only.
+
+    These are the candidate injection sites for the locking flow: primary
+    inputs and outputs are part of the public interface, and DFF outputs
+    belong to the sequential skeleton the flow leaves untouched.
+    """
+    skip = set(circuit.inputs) | set(circuit.outputs) | set(circuit.dffs)
+    collapsed = collapse_faults(circuit)
+    keep: list[StuckAtFault] = []
+    for fault in collapsed:
+        if fault.net in skip:
+            continue
+        gate = circuit.gates[fault.net]
+        if gate.is_tie or gate.is_dff or gate.is_input:
+            continue
+        keep.append(fault)
+    return keep

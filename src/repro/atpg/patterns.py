@@ -1,0 +1,125 @@
+"""Exact failing-pattern enumeration for stuck-at faults.
+
+This is the role Atalanta-M plays in the paper ("able to provide all
+failing patterns").  A candidate fault is evaluated inside its *module*
+(an extracted cone circuit with bounded input support): exhaustive
+bit-parallel simulation of the good and faulty machines yields, per module
+output, the exact set of input minterms on which the fault is observed.
+Each set is then compressed into a cube cover (the paper's Fig. 4(b) list
+of failing patterns with don't-cares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atpg.cubes import Cube, cover_care_bits, exact_cover
+from repro.atpg.faults import StuckAtFault
+from repro.netlist.circuit import Circuit
+from repro.sim.bitparallel import exhaustive_words, mask_for, simulate_words
+
+
+class FailingSetTooLarge(Exception):
+    """The fault fails on more minterms than the configured bound."""
+
+
+@dataclass
+class FailingPatterns:
+    """The exact failing behaviour of one fault inside one module."""
+
+    fault: StuckAtFault
+    variables: list[str]  # module inputs, index i = bit i of a minterm
+    minterms_by_output: dict[str, set[int]]
+    covers_by_output: dict[str, list[Cube]] = field(default_factory=dict)
+
+    @property
+    def union_minterms(self) -> set[int]:
+        union: set[int] = set()
+        for terms in self.minterms_by_output.values():
+            union.update(terms)
+        return union
+
+    @property
+    def affected_outputs(self) -> list[str]:
+        return [o for o, terms in self.minterms_by_output.items() if terms]
+
+    def unique_cubes(self) -> list[Cube]:
+        """Deduplicated cube list across all outputs (shared comparators)."""
+        seen: dict[Cube, None] = {}
+        for cover in self.covers_by_output.values():
+            for cube in cover:
+                seen.setdefault(cube, None)
+        return list(seen)
+
+    def key_bits(self) -> int:
+        """Key bits consumed: one per care literal of each unique cube."""
+        return cover_care_bits(self.unique_cubes())
+
+    @property
+    def is_redundant(self) -> bool:
+        """No failing minterm at all: the fault site logic is redundant."""
+        return not any(self.minterms_by_output.values())
+
+
+def enumerate_failing_patterns(
+    module: Circuit,
+    fault: StuckAtFault,
+    max_inputs: int = 16,
+    max_minterms: int = 256,
+) -> FailingPatterns:
+    """Compute the exact failing sets of *fault* in *module*.
+
+    *module* must be combinational with ``len(inputs) <= max_inputs``.
+    Raises :class:`FailingSetTooLarge` when any output fails on more than
+    *max_minterms* assignments — such faults need restore comparators too
+    large to be cost-effective and are skipped by the locking flow.
+    """
+    variables = list(module.inputs)
+    if len(variables) > max_inputs:
+        raise ValueError(
+            f"module has {len(variables)} inputs (> {max_inputs}); "
+            "partition with a tighter support bound"
+        )
+    words, num_patterns = exhaustive_words(variables)
+    mask = mask_for(num_patterns)
+    good = simulate_words(module, words, num_patterns)
+    stuck_word = mask if fault.value else 0
+    faulty = simulate_words(
+        module, words, num_patterns, overrides={fault.net: stuck_word}
+    )
+
+    minterms_by_output: dict[str, set[int]] = {}
+    for output in module.outputs:
+        diff = good[output] ^ faulty[output]
+        count = diff.bit_count()
+        if count > max_minterms:
+            raise FailingSetTooLarge(
+                f"{fault}: output {output} fails on {count} minterms"
+            )
+        terms: set[int] = set()
+        while diff:
+            low = diff & -diff
+            terms.add(low.bit_length() - 1)
+            diff ^= low
+        minterms_by_output[output] = terms
+
+    result = FailingPatterns(fault, variables, minterms_by_output)
+    for output, terms in minterms_by_output.items():
+        if terms:
+            result.covers_by_output[output] = exact_cover(
+                terms, len(variables), max_minterms=max_minterms
+            )
+        else:
+            result.covers_by_output[output] = []
+    return result
+
+
+def verify_cover_exactness(patterns: FailingPatterns) -> bool:
+    """Check every per-output cover reproduces its minterm set exactly."""
+    from repro.atpg.cubes import cover_minterms
+
+    width = len(patterns.variables)
+    for output, cover in patterns.covers_by_output.items():
+        if cover_minterms(cover, width) != patterns.minterms_by_output[output]:
+            return False
+    return True

@@ -1,0 +1,249 @@
+"""PODEM automatic test pattern generation for single stuck-at faults.
+
+A classic implementation with five-valued logic (0, 1, X, D, D-bar encoded
+as good/faulty value pairs), objective backtrace, D-frontier tracking and
+an X-path check.  Returns a *test cube* — a partial primary-input
+assignment guaranteed to detect the fault for every fill of the X
+positions — or a redundancy verdict when the backtrack budget suffices to
+exhaust the search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atpg.faults import StuckAtFault
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import (
+    GateType,
+    controlling_value,
+    inversion_parity,
+)
+
+X = None  # unknown in 3-valued logic
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    fault: StuckAtFault
+    status: str  # "detected" | "redundant" | "aborted"
+    test_cube: dict[str, int] | None = None
+    backtracks: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return self.status == "detected"
+
+
+def _eval3(gate_type: GateType, values: list[Optional[int]]) -> Optional[int]:
+    """Three-valued gate evaluation (None = X)."""
+    if gate_type is GateType.TIEHI:
+        return 1
+    if gate_type is GateType.TIELO:
+        return 0
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.NOT:
+        return None if values[0] is X else 1 - values[0]
+    ctrl = controlling_value(gate_type)
+    invert = inversion_parity(gate_type)
+    if ctrl is not None:
+        if any(v == ctrl for v in values):
+            return ctrl ^ invert
+        if any(v is X for v in values):
+            return X
+        return (1 - ctrl) ^ invert
+    # XOR family
+    if any(v is X for v in values):
+        return X
+    parity = 0
+    for v in values:
+        parity ^= v
+    return parity if gate_type is GateType.XOR else 1 - parity
+
+
+class PodemEngine:
+    """PODEM over one combinational circuit (reusable across faults)."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 2000) -> None:
+        if circuit.is_sequential:
+            raise ValueError("PODEM expects a combinational circuit")
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self._topo = circuit.topological_order()
+        self._fanout = circuit.fanout_map()
+        self._level = circuit.levels()
+        self._output_set = set(circuit.outputs)
+        # Static controllability estimate (SCOAP-lite): distance-to-input,
+        # used by backtrace to pick the easiest X input.
+        self._depth_cost = self._level
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: StuckAtFault) -> PodemResult:
+        """Run PODEM for *fault*."""
+        self._fault = fault
+        self._pi_values: dict[str, int] = {}
+        self._backtracks = 0
+        status = self._search()
+        if status == "detected":
+            return PodemResult(fault, "detected", dict(self._pi_values), self._backtracks)
+        if status == "exhausted":
+            return PodemResult(fault, "redundant", None, self._backtracks)
+        return PodemResult(fault, "aborted", None, self._backtracks)
+
+    # ------------------------------------------------------------------
+    def _search(self) -> str:
+        good, faulty = self._imply()
+        if self._detected(good, faulty):
+            return "detected"
+        objective = self._objective(good, faulty)
+        if objective is None:
+            return "exhausted"  # no way forward under current assignment
+        pi, value = self._backtrace(objective, good)
+        if pi is None:
+            return "exhausted"
+        for attempt_value in (value, 1 - value):
+            self._pi_values[pi] = attempt_value
+            result = self._search()
+            if result == "detected":
+                return result
+            if result == "aborted":
+                del self._pi_values[pi]
+                return result
+            self._backtracks += 1
+            if self._backtracks > self.backtrack_limit:
+                del self._pi_values[pi]
+                return "aborted"
+        del self._pi_values[pi]
+        return "exhausted"
+
+    # ------------------------------------------------------------------
+    def _imply(self) -> tuple[dict[str, Optional[int]], dict[str, Optional[int]]]:
+        """Forward 3-valued implication of good and faulty machines."""
+        good: dict[str, Optional[int]] = {}
+        faulty: dict[str, Optional[int]] = {}
+        fault = self._fault
+        for net in self._topo:
+            gate = self.circuit.gates[net]
+            if gate.is_input:
+                value = self._pi_values.get(net, X)
+                good[net] = value
+                faulty[net] = value
+            else:
+                good[net] = _eval3(gate.gate_type, [good[n] for n in gate.fanin])
+                faulty[net] = _eval3(gate.gate_type, [faulty[n] for n in gate.fanin])
+            if net == fault.net:
+                faulty[net] = fault.value
+        return good, faulty
+
+    def _detected(self, good, faulty) -> bool:
+        return any(
+            good[o] is not X and faulty[o] is not X and good[o] != faulty[o]
+            for o in self._output_set
+        )
+
+    def _objective(self, good, faulty) -> tuple[str, int] | None:
+        fault = self._fault
+        # 1. Fault excitation: good value at fault site must be the
+        #    complement of the stuck value.
+        if good[fault.net] is X:
+            return (fault.net, 1 - fault.value)
+        if good[fault.net] == fault.value:
+            return None  # fault cannot be excited under this assignment
+        # 2. Propagation: pick the D-frontier gate closest to an output
+        #    with an X-path, and require a non-controlling value on one of
+        #    its X inputs.
+        frontier = self._d_frontier(good, faulty)
+        if not frontier:
+            return None
+        frontier.sort(key=lambda n: -self._level[n])
+        for gate_name in frontier:
+            if not self._x_path(gate_name, good, faulty):
+                continue
+            gate = self.circuit.gates[gate_name]
+            ctrl = controlling_value(gate.gate_type)
+            for net in gate.fanin:
+                if good[net] is X:
+                    want = 1 - ctrl if ctrl is not None else 0
+                    return (net, want)
+        return None
+
+    def _d_frontier(self, good, faulty) -> list[str]:
+        frontier = []
+        for net in self._topo:
+            gate = self.circuit.gates[net]
+            if gate.is_input:
+                continue
+            out_unknown = good[net] is X or faulty[net] is X or good[net] == faulty[net]
+            if not out_unknown:
+                continue
+            has_d_input = any(
+                good[n] is not X and faulty[n] is not X and good[n] != faulty[n]
+                for n in gate.fanin
+            )
+            if has_d_input and (good[net] is X or faulty[net] is X):
+                frontier.append(net)
+        return frontier
+
+    def _x_path(self, net: str, good, faulty) -> bool:
+        """Path of X-valued nets from *net* to any primary output."""
+        stack = [net]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self._output_set:
+                return True
+            for reader in self._fanout[current]:
+                gate = self.circuit.gates[reader]
+                if gate.is_dff:
+                    continue
+                if good[reader] is X or faulty[reader] is X:
+                    stack.append(reader)
+        return False
+
+    def _backtrace(self, objective: tuple[str, int], good) -> tuple[str | None, int]:
+        net, value = objective
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10 * len(self.circuit.gates) + 16:
+                return None, 0
+            gate = self.circuit.gates[net]
+            if gate.is_input:
+                if net in self._pi_values:
+                    return None, 0
+                return net, value
+            if gate.gate_type in (GateType.TIEHI, GateType.TIELO):
+                return None, 0
+            value ^= inversion_parity(gate.gate_type)
+            x_inputs = [n for n in gate.fanin if good[n] is X]
+            if not x_inputs:
+                return None, 0
+            if gate.gate_type in (GateType.XOR, GateType.XNOR):
+                # objective value on an XOR is met by fixing one X input to
+                # the parity residue of the known inputs.
+                known = [good[n] for n in gate.fanin if good[n] is not X]
+                residue = value
+                for v in known:
+                    residue ^= v
+                # remaining X inputs beyond the first are driven to 0.
+                net = x_inputs[0]
+                value = residue
+                continue
+            ctrl = controlling_value(gate.gate_type)
+            if ctrl is not None and value == ctrl:
+                # any single input at the controlling value suffices:
+                # choose the easiest (shallowest) X input.
+                net = min(x_inputs, key=self._depth_cost.__getitem__)
+                value = ctrl
+            else:
+                # all inputs must be non-controlling: walk the hardest
+                # (deepest) X input first.
+                net = max(x_inputs, key=self._depth_cost.__getitem__)
+                value = 1 - ctrl if ctrl is not None else value

@@ -1,0 +1,25 @@
+"""Attacks on split layouts: proximity, ideal, random-guess, SAT futility."""
+
+from repro.attacks.hints import HintContext, build_context
+from repro.attacks.ideal import ideal_attack, iter_ideal_guesses, random_key_guess
+from repro.attacks.postprocess import reconnect_key_gates_to_ties
+from repro.attacks.proximity import ProximityAttackConfig, proximity_attack
+from repro.attacks.random_guess import random_guess_attack
+from repro.attacks.result import AttackResult, rebuild_netlist
+from repro.attacks.sat_attack import SatFutilityReport, demonstrate_sat_futility
+
+__all__ = [
+    "AttackResult",
+    "HintContext",
+    "ProximityAttackConfig",
+    "SatFutilityReport",
+    "build_context",
+    "demonstrate_sat_futility",
+    "ideal_attack",
+    "iter_ideal_guesses",
+    "proximity_attack",
+    "random_guess_attack",
+    "random_key_guess",
+    "rebuild_netlist",
+    "reconnect_key_gates_to_ties",
+]

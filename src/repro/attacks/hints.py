@@ -1,0 +1,185 @@
+"""The five FEOL hint classes used by the proximity attack.
+
+These mirror the hints enumerated in the paper's proof outline (taken from
+Wang et al., TVLSI'18): (1) physical proximity, (2) FEOL routing
+direction of the dangling wires, (3) driver load constraints, (4) absence
+of combinational loops, (5) timing constraints.  Each helper scores or
+filters candidate source-sink pairs; the attack composes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.phys.split import FeolView, SinkStub, SourceStub
+
+
+@dataclass
+class HintContext:
+    """Precomputed structure shared by all hint evaluations."""
+
+    view: FeolView
+    levels: dict[str, int]
+    suffix_depth: dict[str, int]
+    max_level: int
+    load_limit: int
+
+
+def build_context(view: FeolView, load_limit: int = 5) -> HintContext:
+    """Precompute level estimates over the FEOL-visible structure.
+
+    Broken pins contribute no edges, so levels are lower bounds — exactly
+    what an attacker can compute from the FEOL.
+    """
+    skeleton = _feol_skeleton(view)
+    levels = skeleton.levels()
+    fanout = skeleton.fanout_map()
+    suffix: dict[str, int] = {}
+    for net in reversed(skeleton.topological_order()):
+        readers = [r for r in fanout[net] if not skeleton.gates[r].is_dff]
+        suffix[net] = 1 + max((suffix[r] for r in readers), default=0)
+    max_level = max(levels.values(), default=0)
+    return HintContext(view, levels, suffix, max_level, load_limit)
+
+
+def _feol_skeleton(view: FeolView) -> Circuit:
+    """The FEOL-visible netlist: broken pins dropped from fanins.
+
+    Dropping pins can change gate arities; the skeleton is only used for
+    topology estimates, so gates degrade to buffers where needed.
+    """
+    from repro.netlist.gate_types import GateType
+
+    broken: dict[str, set[int]] = {}
+    for stub in view.sink_stubs:
+        if not stub.owner.startswith("PO:"):
+            broken.setdefault(stub.owner, set()).add(stub.pin_index)
+    skeleton = Circuit(f"{view.circuit_name}_feol")
+    for gate in view.gates.values():
+        if gate.is_input:
+            skeleton.add(gate.name, GateType.INPUT)
+            continue
+        if gate.is_tie:
+            skeleton.add(gate.name, gate.gate_type)
+            continue
+        keep = [
+            net
+            for position, net in enumerate(gate.fanin)
+            if position not in broken.get(gate.name, set())
+        ]
+        if gate.is_dff:
+            if keep:
+                skeleton.add(gate.name, gate.gate_type, tuple(keep[:1]))
+            else:
+                skeleton.add(gate.name, GateType.INPUT)
+            continue
+        if keep:
+            gate_type = gate.gate_type if len(keep) > 1 else _unary_of(gate.gate_type)
+            skeleton.add(gate.name, gate_type, tuple(keep))
+        else:
+            skeleton.add(gate.name, GateType.TIELO)  # fully dangling gate
+    return skeleton
+
+
+def _unary_of(gate_type):
+    from repro.netlist.gate_types import GateType, inversion_parity
+
+    return GateType.NOT if inversion_parity(gate_type) else GateType.BUF
+
+
+# ----------------------------------------------------------------------
+# Hint 1 + 2: proximity and direction of the dangling-wire endpoints
+# ----------------------------------------------------------------------
+#: Row tolerance for trunk alignment (one metal pitch of slop).
+_ALIGN_TOL_UM = 0.75
+
+#: Penalty for candidate pairs whose FEOL breakage modes disagree.
+_MODE_MISMATCH_PENALTY = 25.0
+
+#: Penalty for trunk-type pairs on different rows (needs an extra jog).
+_ROW_MISMATCH_PENALTY = 40.0
+
+
+def proximity_score(source: SourceStub, sink: SinkStub) -> float:
+    """Composite proximity/direction score (lower = more plausible).
+
+    Trunk-missing pairs whose dangling ends share a row only need the
+    missing horizontal trunk — the strongest hint the FEOL offers; they
+    are scored by the trunk length alone.  Pairs with mismatched breakage
+    modes or rows would require extra BEOL jogs a timing-driven router
+    would not have produced, so they are penalised.
+    """
+    dx = abs(source.x - sink.x)
+    dy = abs(source.y - sink.y)
+    if source.trunk_axis == "x" and sink.trunk_axis == "x":
+        if dy <= _ALIGN_TOL_UM:
+            return dx
+        return _ROW_MISMATCH_PENALTY + math.hypot(dx, dy)
+    if source.trunk_axis != sink.trunk_axis:
+        return _MODE_MISMATCH_PENALTY + math.hypot(dx, dy)
+    return math.hypot(dx, dy)
+
+
+# ----------------------------------------------------------------------
+# Hint 3: load constraints — not applicable to TIE cells
+# ----------------------------------------------------------------------
+def load_allows(
+    context: HintContext, source: SourceStub, current_load: int
+) -> bool:
+    """Drivers accept a bounded number of extra sinks; TIEs are unbounded.
+
+    "Load capacitance constraints are not applicable to TIE cells, since
+    they are not actual drivers."
+    """
+    if source.is_tie:
+        return True
+    return current_load < context.load_limit
+
+
+# ----------------------------------------------------------------------
+# Hint 4: combinational-loop avoidance — vacuous for TIE cells
+# ----------------------------------------------------------------------
+def creates_loop(
+    reaches: dict[str, set[str]], source: SourceStub, sink: SinkStub
+) -> bool:
+    """Would connecting source -> sink close a combinational cycle?
+
+    *reaches* maps gate -> set of gates currently known reachable from it
+    (maintained incrementally by the attack).  TIE sources never
+    participate in loops ("a TIE cell is not driven by another gate").
+    """
+    if source.is_tie:
+        return False
+    if sink.owner.startswith("PO:"):
+        return False
+    driver_gate = source.owner
+    if driver_gate.startswith("PAD:"):
+        return False
+    return driver_gate in reaches.get(sink.owner, set())
+
+
+# ----------------------------------------------------------------------
+# Hint 5: timing constraints — vacuous for TIE cells (static nets)
+# ----------------------------------------------------------------------
+def timing_allows(
+    context: HintContext, source: SourceStub, sink: SinkStub, slack_factor: float
+) -> bool:
+    """Prune connections that would blow the visible critical path.
+
+    The attacker assumes the design met timing: a candidate implying a
+    path meaningfully longer than the FEOL-visible critical path is
+    unlikely.  "Timing constraints do not apply to TIE cells, which define
+    only static paths."
+    """
+    if source.is_tie:
+        return True
+    driver_gate = source.owner
+    if driver_gate.startswith("PAD:"):
+        return True
+    if sink.owner.startswith("PO:"):
+        return True
+    depth_before = context.levels.get(driver_gate, 0)
+    depth_after = context.suffix_depth.get(sink.owner, 1)
+    return depth_before + depth_after <= slack_factor * max(4, context.max_level)

@@ -1,0 +1,158 @@
+"""Common result model for all attacks on split layouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+from repro.phys.split import FeolView
+
+
+@dataclass
+class AttackResult:
+    """Outcome of an attack on one FEOL view.
+
+    ``assignment`` maps every broken sink-stub id to the *net name* of the
+    source the attacker connected it to.  ``recovered`` is the netlist the
+    attacker would hand to a fab — broken pins wired per the assignment.
+    """
+
+    view: FeolView
+    assignment: dict[int, str] = field(default_factory=dict)
+    recovered: Circuit | None = None
+    strategy: str = "unspecified"
+    diagnostics: dict[str, object] = field(default_factory=dict)
+
+    def assigned_net(self, stub_id: int) -> str | None:
+        return self.assignment.get(stub_id)
+
+
+def rebuild_netlist(view: FeolView, assignment: dict[int, str], name: str) -> Circuit:
+    """Construct the attacker's completed netlist from an assignment.
+
+    Broken gate-input pins take the assigned driver; broken primary-output
+    pads re-point the output alias.  Unassigned pins fall back to their
+    own gate's first available net to keep the netlist well-formed (the
+    attacker must tape out *something*).
+    """
+    from repro.netlist.circuit import Circuit as _Circuit
+
+    rebuilt = _Circuit(name)
+    patch: dict[tuple[str, int], str] = {}
+    output_patch: dict[str, str] = {}
+    for stub in view.sink_stubs:
+        target = assignment.get(stub.stub_id)
+        if target is None:
+            # The attacker must connect every pin: fall back to the
+            # geometrically nearest source stub.  Never the ground truth.
+            target = _nearest_source(view, stub)
+        if target is None:
+            continue
+        if stub.owner.startswith("PO:"):
+            output_patch[stub.owner[3:]] = target
+        else:
+            patch[(stub.owner, stub.pin_index)] = target
+
+    for gate in view.gates.values():
+        if gate.is_input:
+            rebuilt.add(gate.name, gate.gate_type)
+            continue
+        fanin = list(gate.fanin)
+        for position in range(len(fanin)):
+            key = (gate.name, position)
+            if key in patch:
+                fanin[position] = patch[key]
+        rebuilt.add(gate.name, gate.gate_type, tuple(fanin))
+
+    from repro.netlist.gate_types import GateType
+
+    for net in view.outputs:
+        target = output_patch.get(net, net)
+        if target in rebuilt.outputs:
+            # the attacker wired two pads to one net; alias through a BUF
+            # so the netlist model (distinct output listings) holds.
+            alias = rebuilt.fresh_name(f"{target}_poalias")
+            rebuilt.add(alias, GateType.BUF, (target,))
+            target = alias
+        rebuilt.add_output(target)
+    _break_cycles(rebuilt, set(patch))
+    return rebuilt
+
+
+def _break_cycles(circuit, patched_pins: set[tuple[str, int]]) -> int:
+    """Tie cycle-closing *attacker-patched* pins to constant 0.
+
+    A guessed netlist with a combinational loop is not fabricable; real
+    attack tooling rejects such assignments outright.  As a safety net for
+    randomized attack variants we break any residual cycle at one of the
+    guessed pins (never at an FEOL-visible connection) — the functional
+    damage stays on the attacker's side of the ledger.
+    """
+    from repro.netlist.circuit import NetlistError
+    from repro.netlist.gate_types import GateType
+
+    broken = 0
+    while True:
+        try:
+            circuit.topological_order()
+            return broken
+        except NetlistError:
+            pass
+        cyclic = _nets_on_cycles(circuit)
+        rewired = False
+        for gate_name in sorted(cyclic):
+            gate = circuit.gates[gate_name]
+            for position, fin in enumerate(gate.fanin):
+                if (gate_name, position) in patched_pins and fin in cyclic:
+                    tie = circuit.fresh_name(f"{gate_name}_loopbrk")
+                    circuit.add(tie, GateType.TIELO)
+                    fanin = list(gate.fanin)
+                    fanin[position] = tie
+                    circuit.replace_gate(gate.with_fanin(fanin))
+                    patched_pins.discard((gate_name, position))
+                    broken += 1
+                    rewired = True
+                    break
+            if rewired:
+                break
+        if not rewired:  # pragma: no cover - cycle through visible edges
+            raise RuntimeError("unbreakable cycle in recovered netlist")
+
+
+def _nets_on_cycles(circuit) -> set[str]:
+    """Gates not removable by Kahn peeling = members/feeders of cycles."""
+    from repro.netlist.gate_types import SOURCE_TYPES
+
+    indegree: dict[str, int] = {}
+    ready: list[str] = []
+    for gate in circuit.gates.values():
+        if gate.gate_type in SOURCE_TYPES or gate.is_dff:
+            indegree[gate.name] = 0
+            ready.append(gate.name)
+        else:
+            indegree[gate.name] = len(gate.fanin)
+    fanout = circuit.fanout_map()
+    cursor = 0
+    while cursor < len(ready):
+        name = ready[cursor]
+        cursor += 1
+        for reader in fanout[name]:
+            if circuit.gates[reader].is_dff:
+                continue
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                ready.append(reader)
+    return {name for name, degree in indegree.items() if degree > 0}
+
+
+def _nearest_source(view: FeolView, sink) -> str | None:
+    best = None
+    best_dist = float("inf")
+    for source in view.source_stubs:
+        if source.owner == sink.owner:
+            continue  # no self-loop
+        dist = (source.x - sink.x) ** 2 + (source.y - sink.y) ** 2
+        if dist < best_dist:
+            best_dist = dist
+            best = source.net
+    return best

@@ -1,0 +1,87 @@
+"""Oracle-less SAT-based key extraction — and why it is futile here.
+
+Sec. II-C: "an attacker may want to resort to key extraction attacks
+commonly leveraged against logic locking, in particular SAT attacks.
+However, recall the absence of an oracle for our scheme ... such attacks
+are deemed futile."
+
+The classic SAT attack (Subramanyan et al., HOST'15) needs an *oracle*
+(an unlocked chip) to generate distinguishing input patterns.  Under the
+split-manufacturing threat model the chip is not yet fabricated, so the
+attacker can only ask which keys are *consistent with the locked netlist
+itself* — and every key is: the circuit is a total function for any key
+assignment.  :func:`demonstrate_sat_futility` makes this concrete by
+checking, for a sample of random keys, that the locked CNF is satisfiable
+under each of them, i.e. the FEOL alone constrains nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.locking.key import LockedCircuit
+from repro.sat.cnf import Cnf
+from repro.sat.solver import solve_cnf
+from repro.sat.tseitin import encode_circuit
+from repro.utils.rng import rng_for
+
+
+@dataclass
+class SatFutilityReport:
+    """Outcome of the oracle-less SAT probe."""
+
+    keys_probed: int
+    keys_consistent: int
+    distinguishing_found: bool
+
+    @property
+    def all_keys_consistent(self) -> bool:
+        return self.keys_probed == self.keys_consistent
+
+
+def demonstrate_sat_futility(
+    locked: LockedCircuit,
+    sample_keys: int = 16,
+    seed: int = 2019,
+) -> SatFutilityReport:
+    """Show that without an oracle, SAT cannot rule out any key.
+
+    For each sampled key we assert its TIE polarities in the locked
+    circuit's CNF and check satisfiability: a key would only be refutable
+    if the CNF became UNSAT, which never happens for a well-formed
+    netlist.  Consequently the SAT attack's distinguishing-input loop
+    cannot even start.
+    """
+    rng = rng_for(seed, "sat-futility", locked.circuit.name)
+    base = locked.with_key([0] * locked.key_length, name="satprobe")
+    # Encode once with free TIE polarities: replace each TIE cell with a
+    # fresh input variable so assumptions can set it per probe.
+    from repro.netlist.circuit import Circuit
+    from repro.netlist.gate_types import GateType
+
+    freed = Circuit(f"{base.name}_freekey")
+    for gate in base.gates.values():
+        if gate.name in set(locked.tie_cells):
+            freed.add(gate.name, GateType.INPUT)
+        else:
+            freed.add_gate(gate)
+    for net in base.outputs:
+        freed.add_output(net)
+    encoding = encode_circuit(freed)
+
+    consistent = 0
+    for _ in range(sample_keys):
+        guess = [rng.randrange(2) for _ in range(locked.key_length)]
+        assumptions = [
+            encoding.literal(tie, value)
+            for tie, value in zip(locked.tie_cells, guess)
+        ]
+        result = solve_cnf(encoding.cnf, assumptions=assumptions)
+        if result.sat:
+            consistent += 1
+    return SatFutilityReport(
+        keys_probed=sample_keys,
+        keys_consistent=consistent,
+        distinguishing_found=False,
+    )

@@ -1,0 +1,30 @@
+"""Benchmark circuits: exact c17, profile-matched ISCAS-85 and ITC'99."""
+
+from repro.benchgen.iscas85 import C17_BENCH, c17, iscas85_suite, load_iscas85
+from repro.benchgen.itc99 import itc99_suite, load_itc99
+from repro.benchgen.profiles import (
+    ISCAS85_PROFILES,
+    ITC99_PROFILES,
+    TABLE_I_BENCHMARKS,
+    TABLE_III_BENCHMARKS,
+    BenchmarkProfile,
+    profile,
+)
+from repro.benchgen.random_logic import GeneratorConfig, generate_random_circuit
+
+__all__ = [
+    "C17_BENCH",
+    "BenchmarkProfile",
+    "GeneratorConfig",
+    "ISCAS85_PROFILES",
+    "ITC99_PROFILES",
+    "TABLE_I_BENCHMARKS",
+    "TABLE_III_BENCHMARKS",
+    "c17",
+    "generate_random_circuit",
+    "iscas85_suite",
+    "itc99_suite",
+    "load_iscas85",
+    "load_itc99",
+    "profile",
+]

@@ -1,0 +1,41 @@
+"""ITC'99 benchmark suite: profile-matched sequential generators.
+
+The ITC'99 designs (b14..b22) are sequential circuits with tens of
+thousands of gates.  They are regenerated here to the published interface
+counts with gate/flip-flop counts scaled by ``profile.default_scale`` (see
+:mod:`repro.benchgen.profiles`); the locking/attack pipelines operate on the
+combinational core exactly as commercial flows treat the sequential
+elements as placement-fixed anchors.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen.profiles import ITC99_PROFILES, BenchmarkProfile
+from repro.benchgen.random_logic import GeneratorConfig, generate_random_circuit
+from repro.netlist.circuit import Circuit
+
+
+def load_itc99(name: str, seed: int = 2019, scale: float | None = None) -> Circuit:
+    """Build one profile-matched ITC'99 benchmark."""
+    try:
+        prof = ITC99_PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown ITC'99 benchmark: {name!r}") from exc
+    return _from_profile(prof, seed, scale)
+
+
+def _from_profile(prof: BenchmarkProfile, seed: int, scale: float | None) -> Circuit:
+    config = GeneratorConfig(
+        num_inputs=prof.num_inputs,
+        num_outputs=prof.num_outputs,
+        num_gates=prof.scaled_gates(scale),
+        num_dffs=prof.scaled_dffs(scale),
+    )
+    return generate_random_circuit(config, seed=seed, name=prof.name)
+
+
+def itc99_suite(seed: int = 2019, scale: float | None = None) -> dict[str, Circuit]:
+    """All six ITC'99 benchmarks of the paper's Tables I and II."""
+    return {
+        name: load_itc99(name, seed=seed, scale=scale) for name in ITC99_PROFILES
+    }

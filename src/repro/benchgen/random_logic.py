@@ -1,0 +1,377 @@
+"""Seeded random-logic generator for profile-matched synthetic benchmarks.
+
+Circuits are built as layered DAGs with locality-biased fanin selection
+(closer levels are preferred), a realistic gate-type mix dominated by
+NAND/NOR/INV as in technology-mapped netlists, and a configurable fraction
+of wide AND/OR gates.  Wide gates drive signal probabilities toward the
+rails, which gives the netlist low-activity nets whose stuck-at faults have
+small failing sets — the property the paper's ATPG-based locking feeds on
+(small failing set => small restore comparator => net area savings).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.transforms import substitute_net, sweep_dead_logic
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tuning knobs of the random generator."""
+
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_dffs: int = 0
+    levels: int = 0  # 0 = auto from gate count
+    wide_gate_fraction: float = 0.18
+    xor_fraction: float = 0.06
+    locality: float = 0.65  # probability of drawing fanin from recent levels
+    #: Fraction of the gate budget spent on *redundancy pockets*: dense,
+    #: narrow-support cones whose roots gate the main fabric but are
+    #: rarely active.  Technology-mapped RTL is full of such structures
+    #: (decoders, exception/corner-case logic); they are what ATPG-based
+    #: locking removes for its area savings, so a profile-matched
+    #: benchmark needs them too.
+    pocket_fraction: float = 0.20
+
+
+_TYPE_WEIGHTS = [
+    (GateType.NAND, 0.30),
+    (GateType.NOR, 0.17),
+    (GateType.AND, 0.13),
+    (GateType.OR, 0.11),
+    (GateType.NOT, 0.16),
+    (GateType.BUF, 0.03),
+    (GateType.XOR, 0.06),
+    (GateType.XNOR, 0.04),
+]
+
+
+def _pick_type(rng: random.Random, xor_fraction: float) -> GateType:
+    roll = rng.random()
+    cumulative = 0.0
+    for gate_type, weight in _TYPE_WEIGHTS:
+        if gate_type in (GateType.XOR, GateType.XNOR):
+            weight = weight * (xor_fraction / 0.10)
+        cumulative += weight
+        if roll < cumulative:
+            return gate_type
+    return GateType.NAND
+
+
+def generate_random_circuit(config: GeneratorConfig, seed: int, name: str) -> Circuit:
+    """Generate a deterministic random circuit matching *config*.
+
+    Sequential state (``config.num_dffs`` > 0) is modelled the standard
+    way: DFF outputs act as extra combinational sources and a matching
+    number of internal nets feed the DFF data pins, so
+    :meth:`Circuit.combinational_core` yields a well-formed core with
+    ``num_inputs + num_dffs`` pseudo-PIs.
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(name)
+
+    sources: list[str] = []
+    for index in range(config.num_inputs):
+        net = f"{name}_pi{index}"
+        circuit.add_input(net)
+        sources.append(net)
+    dff_outputs: list[str] = []
+    for index in range(config.num_dffs):
+        net = f"{name}_q{index}"
+        dff_outputs.append(net)
+        sources.append(net)
+    # DFF gates are inserted after generation (their D nets do not exist
+    # yet); readers may reference DFF outputs immediately.
+
+    pocket_budget = round(config.num_gates * config.pocket_fraction)
+    fabric_gates = max(8, config.num_gates - pocket_budget)
+    levels = config.levels or max(
+        4, round((fabric_gates / max(4.0, fabric_gates ** 0.5)) ** 0.9)
+    )
+    per_level = max(1, fabric_gates // levels)
+
+    level_nets: list[list[str]] = [sources]
+    gate_index = 0
+    for level in range(1, levels + 1):
+        current: list[str] = []
+        todo = per_level
+        if level == levels:
+            todo = max(1, fabric_gates - gate_index)
+        for _ in range(todo):
+            if gate_index >= fabric_gates:
+                break
+            net = f"{name}_g{gate_index}"
+            gate_index += 1
+            gate_type = _pick_type(rng, config.xor_fraction)
+            arity = _pick_arity(rng, gate_type, config.wide_gate_fraction)
+            fanin = _pick_fanin(rng, level_nets, arity, config.locality)
+            circuit.add(net, gate_type, fanin)
+            current.append(net)
+        if not current:
+            break
+        level_nets.append(current)
+
+    all_nets = [n for nets in level_nets[1:] for n in nets]
+    if not all_nets:
+        raise ValueError("generator produced no gates; raise num_gates")
+
+    # DFF data inputs first (so every read q-net has a driver before any
+    # cone traversal): drive each flop from a distinct internal net.
+    d_candidates = list(all_nets)
+    rng.shuffle(d_candidates)
+    for index, q_net in enumerate(dff_outputs):
+        d_net = d_candidates[index % len(d_candidates)]
+        circuit.add(q_net, GateType.DFF, (d_net,))
+
+    # Primary outputs: favour sink nets (no fanout yet) so the whole DAG
+    # stays live, then top up from the deepest levels.
+    fanout = circuit.fanout_map()
+    sinks = [n for n in all_nets if not fanout[n]]
+    rng.shuffle(sinks)
+    outputs = sinks[: config.num_outputs]
+    deep_first = [n for nets in reversed(level_nets[1:]) for n in nets]
+    for net in deep_first:
+        if len(outputs) >= config.num_outputs:
+            break
+        if net not in outputs:
+            outputs.append(net)
+    for net in outputs[: config.num_outputs]:
+        circuit.add_output(net)
+
+    # Keep leftover sinks alive by ORing them into existing outputs via
+    # 2-input gates; otherwise dead-logic sweep would shrink the circuit
+    # below profile.
+    _absorb_leftover_sinks(circuit, rng)
+
+    # Redundancy pockets last: with the interface fixed, each pocket can
+    # pick a victim net that reaches exactly one sink, so the gated cone
+    # stays locally correctable for the locking flow.
+    _insert_pockets(circuit, rng, level_nets, pocket_budget, name)
+    sweep_dead_logic(circuit)
+    return circuit
+
+
+def _pick_arity(rng: random.Random, gate_type: GateType, wide_fraction: float) -> int:
+    if gate_type in (GateType.NOT, GateType.BUF):
+        return 1
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        return 2
+    if rng.random() < wide_fraction:
+        return rng.choice((3, 3, 4))
+    return 2
+
+
+def _pick_fanin(
+    rng: random.Random,
+    level_nets: list[list[str]],
+    arity: int,
+    locality: float,
+) -> tuple[str, ...]:
+    chosen: list[str] = []
+    attempts = 0
+    while len(chosen) < arity and attempts < 50:
+        attempts += 1
+        if rng.random() < locality and len(level_nets) > 1:
+            # draw from one of the two most recent levels
+            pool = level_nets[-1] if rng.random() < 0.7 or len(level_nets) < 3 else level_nets[-2]
+        else:
+            pool = level_nets[rng.randrange(len(level_nets))]
+        net = pool[rng.randrange(len(pool))]
+        if net not in chosen:
+            chosen.append(net)
+    while len(chosen) < arity:  # tiny pools: allow fallback from all levels
+        flat = [n for nets in level_nets for n in nets if n not in chosen]
+        if not flat:
+            break
+        chosen.append(rng.choice(flat))
+    return tuple(chosen)
+
+
+def _insert_pockets(
+    circuit: Circuit,
+    rng: random.Random,
+    level_nets: list[list[str]],
+    budget: int,
+    name: str,
+) -> list[str]:
+    """Spend *budget* gates on gated redundancy cones; returns new nets.
+
+    Two pocket styles, mixed roughly evenly:
+
+    * **Decoder pockets** — a one-hot decoder over 4-6 support nets plus a
+      junk cone ANDed down to a rare term; the OR of the two gates a
+      single-sink victim net.  A stuck-at-0 at the pocket root has a
+      small, exactly enumerable failing set (decoder minterms) while its
+      fanout-free cone is the whole pocket: the keyed area-savings profile
+      of ATPG-based locking.
+    * **Absorption pockets** — the root is ``AND(victim, junk)`` folded in
+      as ``OR(victim, root)``, which is identically the victim (absorption
+      law).  A stuck-at-0 at the root is provably redundant, modelling the
+      don't-care-based restructuring a commercial re-synthesis performs:
+      the locking flow reclaims these cones for free.
+
+    Victims are chosen to reach exactly one sink (primary output or DFF
+    data pin) so the locking flow needs only one local correction per
+    pocket fault.
+    """
+    created: list[str] = []
+    pool = [n for nets in level_nets[1:] for n in nets if n in circuit.gates]
+    if not pool or budget < 10:
+        return created
+
+    sink_nets = set(circuit.outputs)
+    for dff in circuit.dffs:
+        sink_nets.add(circuit.gates[dff].fanin[0])
+
+    def sinks_reached(net: str) -> int:
+        reach = circuit.transitive_fanout([net])
+        return sum(1 for s in sink_nets if s in reach)
+
+    pocket_index = 0
+    spent = 0
+    stall = 0
+    while spent < budget - 6 and stall < 12:
+        pocket_index += 1
+        size = min(rng.randint(18, 48), budget - spent)
+        if size < 10:
+            break
+        support_width = rng.randint(4, 6)
+        support = rng.sample(pool, min(support_width, len(pool)))
+
+        # Victim: not upstream of the support (no cycles) and observing
+        # exactly one sink (cheap local correction).
+        forbidden = circuit.transitive_fanin(support)
+        victim = None
+        for _ in range(40):
+            candidate = rng.choice(pool)
+            if candidate in forbidden or candidate not in circuit.gates:
+                continue
+            if sinks_reached(candidate) == 1:
+                victim = candidate
+                break
+        if victim is None:
+            stall += 1
+            continue
+        stall = 0
+
+        def new_net(tag: str) -> str:
+            return circuit.fresh_name(f"{name}_p{pocket_index}_{tag}")
+
+        gates_in_pocket: list[str] = []
+        absorption = rng.random() < 0.5
+
+        # Junk bulk: layered random logic over the support, converged into
+        # one AND so the entire pocket lies in the root's fanout-free cone.
+        junk: list[str] = []
+        reserved = 3 + (0 if absorption else support_width + 1)
+        bulk = max(4, size - reserved)
+        # Shallow, rail-saturating junk in exactly three levels: level 1
+        # ANDs the support down to rare terms, levels 2-3 recombine only
+        # junk nets (activity ~ zero there).  This matches the logic that
+        # ATPG-based locking removes from real designs (rare corner-case
+        # logic): reclaiming it saves area and leakage but almost no
+        # switching power, and the bounded depth keeps pockets off the
+        # critical path — the paper's Fig. 5 signature of area savings
+        # alongside power/timing cost, not the reverse.
+        level1_count = max(2, bulk // 3)
+        previous: list[str] = []
+        for g in range(level1_count):
+            net = new_net(f"j{g}")
+            arity = min(rng.choice((2, 3)), len(support))
+            circuit.add(net, GateType.AND, tuple(rng.sample(support, arity)))
+            previous.append(net)
+            junk.append(net)
+            gates_in_pocket.append(net)
+        remaining = bulk - level1_count
+        for depth in (2, 3):
+            width = remaining // 2 if depth == 2 else remaining - remaining // 2
+            current: list[str] = []
+            for g in range(width):
+                net = new_net(f"j{depth}_{g}")
+                gate_type = rng.choice(
+                    (GateType.AND, GateType.NOR, GateType.NOT, GateType.AND)
+                )
+                if gate_type is GateType.NOT or len(previous) == 1:
+                    fanin = (rng.choice(previous),)
+                    gate_type = GateType.NOT
+                else:
+                    arity = min(rng.choice((2, 3)), len(previous))
+                    fanin = tuple(rng.sample(previous, arity))
+                circuit.add(net, gate_type, fanin)
+                current.append(net)
+                junk.append(net)
+                gates_in_pocket.append(net)
+            if current:
+                previous = current
+        fanout = circuit.fanout_map()
+        dangling = [n for n in junk if not fanout[n]] or junk[-2:]
+        rare = new_net("rare")
+        circuit.add(rare, GateType.AND, tuple(dict.fromkeys(dangling)))
+        gates_in_pocket.append(rare)
+
+        # Re-point the victim's existing readers to the (future) veil
+        # BEFORE building the root: the absorption root reads the victim
+        # directly and must not be swept into the substitution, or the
+        # veil -> root -> veil cycle would close.
+        veil = new_net("veil")
+        substitute_net(circuit, victim, veil)
+
+        root = new_net("root")
+        if absorption:
+            # OR(victim, AND(victim, junk)) == victim: provably redundant.
+            circuit.add(root, GateType.AND, (victim, rare))
+        else:
+            # Decoder over the support: fires on one random pattern.
+            literals: list[str] = []
+            for pos, net in enumerate(support):
+                lit = new_net(f"l{pos}")
+                if rng.randrange(2):
+                    circuit.add(lit, GateType.BUF, (net,))
+                else:
+                    circuit.add(lit, GateType.NOT, (net,))
+                literals.append(lit)
+                gates_in_pocket.append(lit)
+            decoder = new_net("dec")
+            circuit.add(decoder, GateType.AND, tuple(literals))
+            gates_in_pocket.append(decoder)
+            circuit.add(root, GateType.OR, (decoder, rare))
+        gates_in_pocket.append(root)
+
+        circuit.add(veil, GateType.OR, (victim, root))
+        gates_in_pocket.append(veil)
+        created.extend(gates_in_pocket)
+        spent += len(gates_in_pocket)
+    return created
+
+
+def _absorb_leftover_sinks(circuit: Circuit, rng: random.Random) -> None:
+    fanout = circuit.fanout_map()
+    output_set = set(circuit.outputs)
+    dff_data = {circuit.gates[q].fanin[0] for q in circuit.dffs}
+    leftovers = [
+        net
+        for net, readers in fanout.items()
+        if not readers
+        and net not in output_set
+        and net not in dff_data
+        and not circuit.gates[net].is_input
+        and not circuit.gates[net].is_dff
+    ]
+    if not leftovers or not circuit.outputs:
+        return
+    rng.shuffle(leftovers)
+    for index, net in enumerate(leftovers):
+        target = circuit.outputs[index % len(circuit.outputs)]
+        absorber = circuit.fresh_name(f"{net}_abs")
+        # Replace the output net with XOR(old_driver, leftover): keeps both
+        # cones observable without changing interface counts, and XOR keeps
+        # the output balanced/sensitive (an OR here would saturate outputs
+        # toward 1 and crush every HD measurement).
+        circuit.rename_output(target, absorber)
+        circuit.add(absorber, GateType.XOR, (target, net))

@@ -1,0 +1,20 @@
+"""Prior-art defense baselines used in the paper's Table III."""
+
+from repro.defenses.base import DefenseOutcome, evaluate_defense
+from repro.defenses.beol_restore import apply_beol_restore, evaluate_beol_restore
+from repro.defenses.routing_perturbation import (
+    apply_routing_perturbation,
+    evaluate_routing_perturbation,
+)
+from repro.defenses.wire_lifting import apply_wire_lifting, evaluate_wire_lifting
+
+__all__ = [
+    "DefenseOutcome",
+    "apply_beol_restore",
+    "apply_routing_perturbation",
+    "apply_wire_lifting",
+    "evaluate_beol_restore",
+    "evaluate_defense",
+    "evaluate_routing_perturbation",
+    "evaluate_wire_lifting",
+]

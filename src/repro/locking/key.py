@@ -1,0 +1,91 @@
+"""Key material and the locked-circuit result model.
+
+A locked design carries one TIE cell per key bit (the paper's physical key
+embedding): bit *i* is 1 iff TIE cell *i* is a TIEHI.  The *key-net* is the
+net driven by the TIE cell; the *key-gate* is the gate reading it.  For
+attack evaluation, :meth:`LockedCircuit.with_key` rebuilds the netlist
+under any guessed key by flipping TIE polarities — exactly what an
+attacker completing the BEOL would fabricate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.gate_types import GateType
+
+
+@dataclass
+class KeyBit:
+    """One key bit: its TIE cell (= key-net name) and consuming key-gate."""
+
+    index: int
+    value: int
+    tie_cell: str  # gate/net name of the TIE cell (net == gate name)
+    key_gate: str  # name of the gate whose fanin includes the key-net
+
+
+@dataclass
+class LockedCircuit:
+    """A locked netlist plus all key bookkeeping.
+
+    ``circuit`` contains the correct-key TIE cells, so simulating it directly
+    reproduces the original function (that is what LEC checks).  The locked
+    *FEOL view* (key unknown) is obtained through :meth:`with_key` using a
+    guessed key, or through the physical-design split.
+    """
+
+    circuit: Circuit
+    key_bits: list[KeyBit] = field(default_factory=list)
+    technique: str = "unspecified"
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[int, ...]:
+        return tuple(bit.value for bit in self.key_bits)
+
+    @property
+    def key_length(self) -> int:
+        return len(self.key_bits)
+
+    @property
+    def tie_cells(self) -> list[str]:
+        return [bit.tie_cell for bit in self.key_bits]
+
+    @property
+    def key_gates(self) -> list[str]:
+        return [bit.key_gate for bit in self.key_bits]
+
+    @property
+    def protected_nets(self) -> set[str]:
+        """The ``set_dont_touch`` set: TIE cells and their key-gates."""
+        return set(self.tie_cells) | set(self.key_gates)
+
+    def with_key(self, guess: Sequence[int], name: str | None = None) -> Circuit:
+        """Rebuild the netlist under *guess* (TIE polarities flipped).
+
+        This models an attacker (or the trusted BEOL fab) completing the
+        broken key-nets with a specific bit assignment.
+        """
+        if len(guess) != self.key_length:
+            raise ValueError(
+                f"guess has {len(guess)} bits, key has {self.key_length}"
+            )
+        rebuilt = self.circuit.copy(name or f"{self.circuit.name}_guess")
+        for bit, value in zip(self.key_bits, guess):
+            tie_type = GateType.TIEHI if value else GateType.TIELO
+            rebuilt.replace_gate(Gate(bit.tie_cell, tie_type, ()))
+        return rebuilt
+
+    def verify_tie_polarity(self) -> bool:
+        """Internal consistency: TIE gate types must encode the key."""
+        for bit in self.key_bits:
+            gate = self.circuit.gates[bit.tie_cell]
+            expected = GateType.TIEHI if bit.value else GateType.TIELO
+            if gate.gate_type is not expected:
+                return False
+            if bit.tie_cell not in self.circuit.gates[bit.key_gate].fanin:
+                return False
+        return True

@@ -1,0 +1,87 @@
+"""Random key-gate insertion (EPIC-style, Roy et al. DATE'08).
+
+The generic locking baseline the paper cites ("any locking technique can
+be applied, including random insertion of key-gates").  Each key bit
+inserts one XOR/XNOR on a randomly chosen internal net:
+
+* key bit 0 -> XOR key-gate (passes the signal through when key-net = 0)
+* key bit 1 -> XNOR key-gate (passes through when key-net = 1)
+
+so the circuit is functionally correct exactly under the right key.  The
+key-net is driven by a dedicated TIE cell, matching the paper's physical
+key embedding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.locking.key import KeyBit, LockedCircuit
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.transforms import insert_on_net
+from repro.utils.rng import rng_for
+
+
+def insert_random_key_gates(
+    circuit: Circuit,
+    count: int,
+    rng: random.Random,
+    key_index_start: int = 0,
+    avoid: Iterable[str] = (),
+) -> list[KeyBit]:
+    """Insert *count* random key-gates in place; returns their key bits.
+
+    Nets in *avoid* (plus TIE cells, DFF outputs used as nets is fine) are
+    never chosen as insertion sites.
+    """
+    avoid_set = set(avoid)
+    candidates = [
+        gate.name
+        for gate in circuit.gates.values()
+        if gate.is_combinational
+        and not gate.is_tie
+        and gate.name not in avoid_set
+        and gate.name not in circuit.outputs
+    ]
+    if len(candidates) < count:
+        candidates = [
+            gate.name
+            for gate in circuit.gates.values()
+            if (gate.is_combinational or gate.is_input)
+            and not gate.is_tie
+            and gate.name not in avoid_set
+        ]
+    if len(candidates) < count:
+        raise ValueError(
+            f"cannot place {count} key-gates on {len(candidates)} nets"
+        )
+    sites = rng.sample(candidates, count)
+    bits: list[KeyBit] = []
+    for offset, net in enumerate(sites):
+        index = key_index_start + offset
+        value = rng.randrange(2)
+        tie_name = circuit.fresh_name(f"rk_key{index}")
+        circuit.add(tie_name, GateType.TIEHI if value else GateType.TIELO)
+        gate_type = GateType.XNOR if value else GateType.XOR
+        kg_name = insert_on_net(
+            circuit,
+            net,
+            gate_type,
+            side_inputs=(tie_name,),
+            name=circuit.fresh_name(f"rk_kg{index}"),
+        )
+        bits.append(KeyBit(index, value, tie_name, kg_name))
+    return bits
+
+
+def random_lock(
+    circuit: Circuit, key_bits: int = 128, seed: int = 2019
+) -> LockedCircuit:
+    """Lock a copy of *circuit* with random XOR/XNOR key-gates."""
+    rng = rng_for(seed, "random-lock", circuit.name)
+    work = circuit.copy(f"{circuit.name}_rlocked")
+    bits = insert_random_key_gates(work, key_bits, rng)
+    locked = LockedCircuit(work, bits, technique="random-xor")
+    return locked

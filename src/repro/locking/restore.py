@@ -1,0 +1,144 @@
+"""Restore circuitry: keyed comparators that undo an injected fault.
+
+For each failing-pattern cube (Fig. 4(b)) a comparator is built that fires
+exactly on that cube (Fig. 4(d)): every care literal is checked by a
+two-input match gate comparing the tapped circuit net against a *key-net*
+driven by a TIE cell.  The key bit is drawn uniformly at random
+(``K <-$- {0,1}^k``); the match-gate polarity absorbs the difference
+between the key bit and the pattern bit:
+
+* key bit == pattern bit  ->  XNOR(net, key-net)
+* key bit != pattern bit  ->  XOR(net, key-net)
+
+Either way the comparator fires on the pattern iff the key-net carries the
+correct bit, and the FEOL-visible polarity reveals nothing about the
+pattern without the key.  Affected outputs are corrected by XORing the OR
+of their cubes' comparators — but only at their interface aliases (primary
+output listing / DFF data pin), never on the net itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.atpg.cubes import Cube
+from repro.atpg.patterns import FailingPatterns
+from repro.locking.key import KeyBit
+from repro.locking.partition import FaultModule
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+
+@dataclass
+class RestoreResult:
+    """Bookkeeping of one restore-unit insertion."""
+
+    key_bits: list[KeyBit] = field(default_factory=list)
+    inserted_gates: list[str] = field(default_factory=list)
+    corrected_aliases: list[str] = field(default_factory=list)
+
+
+def insert_restore(
+    circuit: Circuit,
+    module: FaultModule,
+    patterns: FailingPatterns,
+    rng: random.Random,
+    key_index_start: int,
+    prefix: str,
+) -> RestoreResult:
+    """Insert the keyed restore unit for *patterns* into *circuit*.
+
+    Assumes the corresponding fault has been (or will be) injected; the
+    combination of injection + restore is functionally equivalent to the
+    original circuit under the correct key.  Returns the key bits created
+    (indices starting at *key_index_start*).
+    """
+    result = RestoreResult()
+    key_index = key_index_start
+
+    # One comparator per unique cube, shared across affected outputs.
+    comparator_of: dict[Cube, str] = {}
+    for cube in patterns.unique_cubes():
+        comparator_of[cube], key_index = _build_comparator(
+            circuit, module, cube, patterns, rng, key_index, prefix, result
+        )
+
+    for sink in module.sink_nets:
+        cover = patterns.covers_by_output.get(sink, [])
+        if not cover:
+            continue
+        fire_terms = [comparator_of[cube] for cube in cover]
+        if len(fire_terms) == 1:
+            fire_net = fire_terms[0]
+        else:
+            fire_net = circuit.fresh_name(f"{prefix}_fire_{sink}")
+            circuit.add(fire_net, GateType.OR, tuple(fire_terms))
+            result.inserted_gates.append(fire_net)
+        corrected = circuit.fresh_name(f"{prefix}_rst_{sink}")
+        circuit.add(corrected, GateType.XOR, (sink, fire_net))
+        result.inserted_gates.append(corrected)
+        _repoint_aliases(circuit, module, sink, corrected, result)
+    return result
+
+
+def _build_comparator(
+    circuit: Circuit,
+    module: FaultModule,
+    cube: Cube,
+    patterns: FailingPatterns,
+    rng: random.Random,
+    key_index: int,
+    prefix: str,
+    result: RestoreResult,
+) -> tuple[str, int]:
+    """Build the match gates + AND for one cube; returns (net, next_index)."""
+    literals = cube.literals(patterns.variables)
+    if not literals:
+        # Degenerate total cube: the fault fails everywhere; a keyless
+        # constant-high comparator restores it (no security contribution,
+        # the cost model strongly disfavours these).
+        const = circuit.fresh_name(f"{prefix}_always")
+        circuit.add(const, GateType.TIEHI)
+        result.inserted_gates.append(const)
+        return const, key_index
+    match_nets: list[str] = []
+    for net, pattern_bit in literals:
+        key_value = rng.randrange(2)
+        tie_name = circuit.fresh_name(f"{prefix}_key{key_index}")
+        tie_type = GateType.TIEHI if key_value else GateType.TIELO
+        circuit.add(tie_name, tie_type)
+        match_type = (
+            GateType.XNOR if key_value == pattern_bit else GateType.XOR
+        )
+        match_name = circuit.fresh_name(f"{prefix}_kg{key_index}")
+        circuit.add(match_name, match_type, (net, tie_name))
+        result.key_bits.append(
+            KeyBit(key_index, key_value, tie_name, match_name)
+        )
+        result.inserted_gates.append(match_name)
+        match_nets.append(match_name)
+        key_index += 1
+    if len(match_nets) == 1:
+        return match_nets[0], key_index
+    and_name = circuit.fresh_name(f"{prefix}_cmp")
+    circuit.add(and_name, GateType.AND, tuple(match_nets))
+    result.inserted_gates.append(and_name)
+    return and_name, key_index
+
+
+def _repoint_aliases(
+    circuit: Circuit,
+    module: FaultModule,
+    sink: str,
+    corrected: str,
+    result: RestoreResult,
+) -> None:
+    for alias in module.sink_aliases[sink]:
+        kind, name = alias.split(":", 1)
+        if kind == "PO":
+            circuit.rename_output(name, corrected)
+        else:  # DFF data pin
+            dff = circuit.gates[name]
+            circuit.replace_gate(dff.with_fanin((corrected,)))
+        result.corrected_aliases.append(alias)

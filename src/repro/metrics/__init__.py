@@ -1,0 +1,14 @@
+"""Evaluation metrics: CCR, HD, OER, PNR."""
+
+from repro.metrics.ccr import CcrReport, compute_ccr
+from repro.metrics.hd_oer import HdOerReport, compute_hd_oer
+from repro.metrics.pnr import PnrReport, compute_pnr
+
+__all__ = [
+    "CcrReport",
+    "HdOerReport",
+    "PnrReport",
+    "compute_ccr",
+    "compute_hd_oer",
+    "compute_pnr",
+]

@@ -1,0 +1,86 @@
+"""Correct connection rate (CCR) — Sec. IV-A.
+
+"CCR measures the ratio of correctly inferred connections to that of the
+total number of broken connections; the lower the CCR, the better the
+protection."  Key-nets are reported separately, split into:
+
+* **physical CCR** — "whether the original routing from the particular
+  TIE cell to the particular key-gate is correct";
+* **logical CCR** — "whether a particular key-gate is connected to any
+  TIE cell of correct logical value".  A key pin matched to a regular
+  (non-TIE) driver carries no defined logic constant and counts as
+  logically incorrect — which is why the paper's key-gate post-processing
+  (random TIE reconnection) pulls logical CCR back up to the 50%
+  random-guessing bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.result import AttackResult
+from repro.netlist.gate_types import GateType
+
+
+@dataclass
+class CcrReport:
+    """CCR figures of one attack run (all in percent)."""
+
+    regular_ccr: float
+    key_physical_ccr: float
+    key_logical_ccr: float
+    regular_broken: int
+    key_broken: int
+
+    def row(self) -> tuple[float, float, float]:
+        """(key logical, key physical, regular) — Table I column order."""
+        return (self.key_logical_ccr, self.key_physical_ccr, self.regular_ccr)
+
+
+def compute_ccr(result: AttackResult) -> CcrReport:
+    """Score *result* against the ground truth carried by the view."""
+    view = result.view
+    tie_polarity: dict[str, int] = {}
+    for source in view.source_stubs:
+        if source.is_tie:
+            tie_polarity[source.net] = source.tie_value or 0
+
+    regular_total = regular_correct = 0
+    key_total = key_physical = key_logical = 0
+    for stub in view.sink_stubs:
+        assigned = result.assignment.get(stub.stub_id)
+        if stub.has_escape:
+            regular_total += 1
+            if assigned == stub.net:
+                regular_correct += 1
+            continue
+        key_total += 1
+        if assigned == stub.net:
+            key_physical += 1
+        if assigned in tie_polarity:
+            true_value = _true_key_value(view, stub)
+            if true_value is not None and tie_polarity[assigned] == true_value:
+                key_logical += 1
+
+    def pct(num: int, den: int) -> float:
+        return 100.0 * num / den if den else 0.0
+
+    return CcrReport(
+        regular_ccr=pct(regular_correct, regular_total),
+        key_physical_ccr=pct(key_physical, key_total),
+        key_logical_ccr=pct(key_logical, key_total),
+        regular_broken=regular_total,
+        key_broken=key_total,
+    )
+
+
+def _true_key_value(view, stub) -> int | None:
+    """The logic constant the key pin truly receives (TIE polarity)."""
+    driver = view.gates.get(stub.net)
+    if driver is None:
+        return None
+    if driver.gate_type is GateType.TIEHI:
+        return 1
+    if driver.gate_type is GateType.TIELO:
+        return 0
+    return None

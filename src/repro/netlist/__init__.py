@@ -1,0 +1,21 @@
+"""Gate-level netlist substrate: data model, cell library, I/O, transforms."""
+
+from repro.netlist.cell_library import NANGATE45, Cell, CellLibrary
+from repro.netlist.circuit import Circuit, CircuitStats, Gate, NetlistError
+from repro.netlist.gate_types import GateType, evaluate_gate, parse_gate_type
+from repro.netlist.validate import ValidationReport, validate
+
+__all__ = [
+    "NANGATE45",
+    "Cell",
+    "CellLibrary",
+    "Circuit",
+    "CircuitStats",
+    "Gate",
+    "GateType",
+    "NetlistError",
+    "ValidationReport",
+    "evaluate_gate",
+    "parse_gate_type",
+    "validate",
+]

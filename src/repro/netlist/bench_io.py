@@ -1,0 +1,114 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The ``.bench`` format is the lingua franca of the ISCAS-85/89 and ITC'99
+benchmark distributions and of ATPG tools such as Atalanta (which the paper
+uses for fault enumeration)::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NOT(G10)
+    G7  = DFF(G10)
+
+TIE cells are written as zero-operand pseudo-gates ``X = TIEHI()`` /
+``X = TIELO()`` (an extension; standard benches never contain constants).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.circuit import Circuit, Gate, NetlistError
+from repro.netlist.gate_types import GateType, parse_gate_type
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<out>[^\s=]+)\s*=\s*(?P<op>[A-Za-z0-9_]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)\s*$", re.I)
+
+
+class BenchParseError(NetlistError):
+    """Raised on malformed ``.bench`` input."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line!r}")
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+
+
+def loads(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` *text* into a :class:`Circuit`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    assignments: list[tuple[int, str, GateType, tuple[str, ...]]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net").strip()
+            if io_match.group("kind").upper() == "INPUT":
+                inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchParseError(line_no, raw, "unrecognised statement")
+        out = assign.group("out").strip()
+        try:
+            gate_type = parse_gate_type(assign.group("op"))
+        except ValueError as exc:
+            raise BenchParseError(line_no, raw, str(exc)) from exc
+        args = tuple(
+            a.strip() for a in assign.group("args").split(",") if a.strip()
+        )
+        assignments.append((line_no, out, gate_type, args))
+
+    circuit = Circuit(name)
+    for net in inputs:
+        circuit.add_input(net)
+    for line_no, out, gate_type, args in assignments:
+        try:
+            circuit.add_gate(Gate(out, gate_type, args))
+        except NetlistError as exc:
+            raise BenchParseError(line_no, out, str(exc)) from exc
+    for net in outputs:
+        circuit.add_output(net)
+    # Sanity: every referenced net must have a driver.
+    circuit.fanout_map()
+    for net in outputs:
+        if net not in circuit.gates:
+            raise NetlistError(f"primary output {net!r} has no driver")
+    return circuit
+
+
+def load(path: str | Path, name: str | None = None) -> Circuit:
+    """Read a ``.bench`` file from *path*."""
+    path = Path(path)
+    with open(path) as handle:
+        return loads(handle.read(), name=name or path.stem)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise *circuit* to ``.bench`` text (topologically ordered)."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({net})" for net in circuit.inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.outputs)
+    for net in circuit.topological_order():
+        gate = circuit.gates[net]
+        if gate.is_input:
+            continue
+        op = gate.gate_type.value.upper()
+        lines.append(f"{gate.name} = {op}({', '.join(gate.fanin)})")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: str | Path) -> None:
+    """Write *circuit* to a ``.bench`` file at *path*."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,238 @@
+"""Standard-cell library model (Nangate 45nm OpenCell flavoured).
+
+The paper's flow uses the Nangate FreePDK45 Open Cell Library for layout
+generation.  That library is not redistributable here, so this module models
+a compatible library: per-cell area, leakage, pin capacitance and a linear
+delay model ``d = intrinsic + drive_resistance * load``.  Values are chosen
+to be representative of a 45nm node; every downstream result is reported as
+a *relative* cost against an unprotected baseline built from the same
+numbers, which is what the paper's Fig. 5 reports as well.
+
+Wide gates (arity above the widest library cell) are costed as a balanced
+tree of library cells, mirroring what technology mapping would produce,
+without restructuring the netlist itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netlist.gate_types import GateType
+
+#: Standard-cell row height in micrometres (Nangate 45nm).
+ROW_HEIGHT_UM = 1.4
+
+#: Placement site width in micrometres (Nangate 45nm).
+SITE_WIDTH_UM = 0.19
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    area_um2:        footprint in square micrometres
+    leakage_nw:      leakage power in nanowatts
+    input_cap_ff:    capacitance of each input pin in femtofarads
+    intrinsic_ps:    zero-load propagation delay in picoseconds
+    drive_res_kohm:  output drive resistance in kilo-ohms (delay slope)
+    switch_energy_fj: internal energy per output transition in femtojoules
+    """
+
+    name: str
+    gate_type: GateType
+    arity: int
+    area_um2: float
+    leakage_nw: float
+    input_cap_ff: float
+    intrinsic_ps: float
+    drive_res_kohm: float
+    switch_energy_fj: float
+
+    @property
+    def width_sites(self) -> int:
+        """Cell width in placement sites (rounded up)."""
+        width_um = self.area_um2 / ROW_HEIGHT_UM
+        return max(1, round(width_um / SITE_WIDTH_UM + 0.499))
+
+
+def _cell(
+    name: str,
+    gate_type: GateType,
+    arity: int,
+    area: float,
+    leak: float,
+    cap: float,
+    delay: float,
+    res: float,
+    energy: float,
+) -> Cell:
+    return Cell(name, gate_type, arity, area, leak, cap, delay, res, energy)
+
+
+#: The cells of the modelled library, X1 drive strength.
+_CELLS = [
+    _cell("INV_X1", GateType.NOT, 1, 0.532, 10.5, 1.0, 10.0, 2.2, 0.30),
+    _cell("BUF_X1", GateType.BUF, 1, 0.798, 14.2, 1.1, 22.0, 1.8, 0.55),
+    _cell("NAND2_X1", GateType.NAND, 2, 0.798, 15.8, 1.2, 14.0, 2.4, 0.42),
+    _cell("NAND3_X1", GateType.NAND, 3, 1.064, 19.4, 1.3, 18.0, 2.6, 0.55),
+    _cell("NAND4_X1", GateType.NAND, 4, 1.330, 23.1, 1.4, 22.0, 2.8, 0.68),
+    _cell("NOR2_X1", GateType.NOR, 2, 0.798, 16.5, 1.2, 17.0, 2.8, 0.44),
+    _cell("NOR3_X1", GateType.NOR, 3, 1.064, 20.7, 1.3, 23.0, 3.1, 0.58),
+    _cell("NOR4_X1", GateType.NOR, 4, 1.330, 24.9, 1.4, 29.0, 3.4, 0.72),
+    _cell("AND2_X1", GateType.AND, 2, 1.064, 18.9, 1.1, 24.0, 1.9, 0.60),
+    _cell("AND3_X1", GateType.AND, 3, 1.330, 22.6, 1.2, 28.0, 2.0, 0.74),
+    _cell("AND4_X1", GateType.AND, 4, 1.596, 26.3, 1.3, 32.0, 2.1, 0.88),
+    _cell("OR2_X1", GateType.OR, 2, 1.064, 19.6, 1.1, 26.0, 2.0, 0.62),
+    _cell("OR3_X1", GateType.OR, 3, 1.330, 23.8, 1.2, 31.0, 2.1, 0.77),
+    _cell("OR4_X1", GateType.OR, 4, 1.596, 28.0, 1.3, 36.0, 2.2, 0.92),
+    _cell("XOR2_X1", GateType.XOR, 2, 1.596, 27.4, 1.7, 42.0, 2.5, 1.10),
+    _cell("XNOR2_X1", GateType.XNOR, 2, 1.596, 27.9, 1.7, 43.0, 2.5, 1.12),
+    _cell("DFF_X1", GateType.DFF, 1, 4.522, 58.3, 1.5, 68.0, 2.3, 2.40),
+    # TIE cells: tiny, no meaningful drive (they source a constant level,
+    # not transitions) — central to the paper's argument that load and
+    # timing hints do not apply to them.
+    _cell("LOGIC1_X1", GateType.TIEHI, 0, 0.532, 4.1, 0.0, 0.0, 0.0, 0.0),
+    _cell("LOGIC0_X1", GateType.TIELO, 0, 0.532, 4.0, 0.0, 0.0, 0.0, 0.0),
+]
+
+
+class CellLibrary:
+    """Lookup and costing over the modelled cell set."""
+
+    def __init__(self, cells: list[Cell]) -> None:
+        self.cells = list(cells)
+        self._by_name = {c.name: c for c in cells}
+        self._by_type: dict[GateType, list[Cell]] = {}
+        for cell in cells:
+            self._by_type.setdefault(cell.gate_type, []).append(cell)
+        for variants in self._by_type.values():
+            variants.sort(key=lambda c: c.arity)
+
+    def by_name(self, name: str) -> Cell:
+        return self._by_name[name]
+
+    def widest(self, gate_type: GateType) -> Cell:
+        return self._by_type[gate_type][-1]
+
+    def cell_for(self, gate_type: GateType, arity: int) -> Cell:
+        """Smallest library cell of *gate_type* with arity >= *arity*.
+
+        Raises :class:`KeyError` when the type is missing and
+        :class:`ValueError` when no single cell is wide enough (use
+        :meth:`mapping_for` to cost a decomposition tree instead).
+        """
+        if gate_type is GateType.INPUT:
+            raise KeyError("primary inputs are not library cells")
+        for cell in self._by_type[gate_type]:
+            if cell.arity >= arity:
+                return cell
+        raise ValueError(
+            f"no {gate_type.value} cell with arity >= {arity}; "
+            "use mapping_for() for tree decomposition"
+        )
+
+    def mapping_for(self, gate_type: GateType, arity: int) -> list[Cell]:
+        """Cells a technology mapper would use for one *arity*-wide gate.
+
+        A gate wider than the widest library cell is decomposed into a
+        balanced tree: for AND/OR the tree consists of same-type cells; for
+        NAND/NOR the inner levels use the non-inverting dual plus a final
+        inverting stage; XOR/XNOR chain 2-input cells.  The returned list is
+        used for area/power/delay accounting only.
+        """
+        if gate_type in (GateType.TIEHI, GateType.TIELO, GateType.NOT, GateType.BUF,
+                         GateType.DFF):
+            return [self.cell_for(gate_type, max(1, arity) if gate_type not in
+                                  (GateType.TIEHI, GateType.TIELO) else 0)]
+        if arity <= 1:
+            return [self.cell_for(GateType.BUF, 1)]
+        widest = self.widest(gate_type).arity
+        if arity <= widest:
+            return [self.cell_for(gate_type, arity)]
+        if gate_type in (GateType.XOR, GateType.XNOR):
+            # chain of (arity - 1) two-input XORs; polarity of the last one
+            # decides XOR vs XNOR.
+            chain = [self.cell_for(GateType.XOR, 2)] * (arity - 2)
+            chain.append(self.cell_for(gate_type, 2))
+            return chain
+        base = {
+            GateType.AND: GateType.AND,
+            GateType.OR: GateType.OR,
+            GateType.NAND: GateType.AND,
+            GateType.NOR: GateType.OR,
+        }[gate_type]
+        cells: list[Cell] = []
+        remaining = arity
+        while remaining > widest:
+            full, rest = divmod(remaining, widest)
+            cells.extend([self.cell_for(base, widest)] * full)
+            next_level = full
+            if rest == 1:
+                next_level += 1  # a lone signal feeds the next level directly
+            elif rest >= 2:
+                cells.append(self.cell_for(base, rest))
+                next_level += 1
+            remaining = next_level
+        cells.append(self.cell_for(gate_type, max(2, remaining)))
+        return cells
+
+    def cell_for_buffer(self) -> Cell:
+        """The repeater cell used by ECO buffering."""
+        return self.cell_for(GateType.BUF, 1)
+
+    def cell_for_dff(self) -> Cell:
+        """The sequential element (clk-to-q delay source in STA)."""
+        return self.cell_for(GateType.DFF, 1)
+
+    # ------------------------------------------------------------------
+    # Costing helpers
+    # ------------------------------------------------------------------
+    def gate_area(self, gate_type: GateType, arity: int) -> float:
+        """Total cell area (um^2) to implement one gate of given arity."""
+        if gate_type is GateType.INPUT:
+            return 0.0
+        return sum(c.area_um2 for c in self.mapping_for(gate_type, arity))
+
+    def gate_leakage(self, gate_type: GateType, arity: int) -> float:
+        """Total leakage (nW) to implement one gate of given arity."""
+        if gate_type is GateType.INPUT:
+            return 0.0
+        return sum(c.leakage_nw for c in self.mapping_for(gate_type, arity))
+
+    def gate_input_cap(self, gate_type: GateType, arity: int) -> float:
+        """Capacitance (fF) presented by one input pin of the gate."""
+        if gate_type is GateType.INPUT:
+            return 0.0
+        return self.mapping_for(gate_type, arity)[0].input_cap_ff
+
+    def gate_switch_energy(self, gate_type: GateType, arity: int) -> float:
+        """Internal energy (fJ) per output transition."""
+        if gate_type is GateType.INPUT:
+            return 0.0
+        return sum(c.switch_energy_fj for c in self.mapping_for(gate_type, arity))
+
+    def gate_delay(self, gate_type: GateType, arity: int, load_ff: float) -> float:
+        """Propagation delay (ps) through the gate driving *load_ff*.
+
+        For decomposed wide gates the tree depth contributes extra
+        intrinsic stages; only the final stage sees the external load.
+        """
+        if gate_type is GateType.INPUT:
+            return 0.0
+        cells = self.mapping_for(gate_type, arity)
+        final = cells[-1]
+        delay = final.intrinsic_ps + final.drive_res_kohm * load_ff
+        if len(cells) > 1:
+            # approximate the internal tree as log-depth extra stages, each
+            # driving one pin of the next stage.
+            extra_stages = max(1, math.ceil(math.log2(len(cells) + 1)) - 1)
+            inner = cells[0]
+            delay += extra_stages * (
+                inner.intrinsic_ps + inner.drive_res_kohm * inner.input_cap_ff
+            )
+        return delay
+
+
+#: The default library instance used across the project.
+NANGATE45 = CellLibrary(_CELLS)

@@ -1,0 +1,203 @@
+"""Primitive gate types and their Boolean semantics.
+
+The netlist model is ISCAS-style: every gate drives exactly one net, and the
+net is named after the gate.  Gates are *primitive* (technology independent);
+the mapping to library cells (with drive strengths, area, power, timing) is
+handled by :mod:`repro.netlist.cell_library`.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import reduce
+from typing import Iterable
+
+
+class GateType(enum.Enum):
+    """All primitive gate types supported by the netlist core."""
+
+    INPUT = "input"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+    TIEHI = "tiehi"
+    TIELO = "tielo"
+    DFF = "dff"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+#: Gate types that source a constant logic value (no fanin).
+CONSTANT_TYPES = frozenset({GateType.TIEHI, GateType.TIELO})
+
+#: Gate types that take no fanin at all.
+SOURCE_TYPES = frozenset({GateType.INPUT, GateType.TIEHI, GateType.TIELO})
+
+#: Combinational gate types (evaluate instantaneously).
+COMBINATIONAL_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.NOT,
+        GateType.BUF,
+        GateType.TIEHI,
+        GateType.TIELO,
+    }
+)
+
+#: Gate types with exactly one input.
+UNARY_TYPES = frozenset({GateType.NOT, GateType.BUF, GateType.DFF})
+
+#: Gate types that accept two or more inputs.
+MULTI_INPUT_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    }
+)
+
+#: Inverting gate type -> its non-inverting dual (and vice versa).
+INVERTED_DUAL = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.NOT: GateType.BUF,
+    GateType.BUF: GateType.NOT,
+    GateType.TIEHI: GateType.TIELO,
+    GateType.TIELO: GateType.TIEHI,
+}
+
+
+def fanin_arity_ok(gate_type: GateType, arity: int) -> bool:
+    """Return ``True`` when *arity* is a legal fanin count for *gate_type*."""
+    if gate_type in SOURCE_TYPES:
+        return arity == 0
+    if gate_type in UNARY_TYPES:
+        return arity == 1
+    if gate_type in MULTI_INPUT_TYPES:
+        # A degenerate single-input AND/OR behaves as a buffer and a
+        # single-input XOR as a buffer as well; we allow >= 1 so that
+        # synthesis transforms can produce them transiently, but the
+        # validator flags them as warnings.
+        return arity >= 1
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def evaluate_gate(gate_type: GateType, values: Iterable[int]) -> int:
+    """Evaluate a primitive gate over scalar 0/1 *values*.
+
+    ``DFF`` and ``INPUT`` are not combinational and raise ``ValueError``.
+    """
+    if gate_type is GateType.TIEHI:
+        return 1
+    if gate_type is GateType.TIELO:
+        return 0
+    vals = list(values)
+    if gate_type is GateType.NOT:
+        return 1 - vals[0]
+    if gate_type is GateType.BUF:
+        return vals[0]
+    if gate_type is GateType.AND:
+        return int(all(vals))
+    if gate_type is GateType.NAND:
+        return int(not all(vals))
+    if gate_type is GateType.OR:
+        return int(any(vals))
+    if gate_type is GateType.NOR:
+        return int(not any(vals))
+    if gate_type is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, vals)
+    if gate_type is GateType.XNOR:
+        return 1 - reduce(lambda a, b: a ^ b, vals)
+    raise ValueError(f"gate type {gate_type!r} is not combinational")
+
+
+def evaluate_gate_words(gate_type: GateType, words: list[int], mask: int) -> int:
+    """Evaluate a gate over bit-packed integer words (bit-parallel sim).
+
+    *mask* selects the valid bit lanes (e.g. ``(1 << 64) - 1``).  Python
+    integers of arbitrary width are accepted, which lets callers pick their
+    own lane count.
+    """
+    if gate_type is GateType.TIEHI:
+        return mask
+    if gate_type is GateType.TIELO:
+        return 0
+    if gate_type is GateType.NOT:
+        return ~words[0] & mask
+    if gate_type is GateType.BUF:
+        return words[0] & mask
+    if gate_type is GateType.AND:
+        return reduce(lambda a, b: a & b, words) & mask
+    if gate_type is GateType.NAND:
+        return ~reduce(lambda a, b: a & b, words) & mask
+    if gate_type is GateType.OR:
+        return reduce(lambda a, b: a | b, words) & mask
+    if gate_type is GateType.NOR:
+        return ~reduce(lambda a, b: a | b, words) & mask
+    if gate_type is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, words) & mask
+    if gate_type is GateType.XNOR:
+        return ~reduce(lambda a, b: a ^ b, words) & mask
+    raise ValueError(f"gate type {gate_type!r} is not combinational")
+
+
+def controlling_value(gate_type: GateType) -> int | None:
+    """Return the controlling input value of *gate_type*, or ``None``.
+
+    A controlling value at any input fully determines the gate output
+    (0 for AND/NAND, 1 for OR/NOR).  XOR-family gates have none.
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        return 0
+    if gate_type in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def inversion_parity(gate_type: GateType) -> int:
+    """Return 1 when the gate inverts (NAND/NOR/XNOR/NOT), else 0."""
+    if gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+        return 1
+    return 0
+
+
+def parse_gate_type(token: str) -> GateType:
+    """Parse a textual gate-type token (case-insensitive, common aliases)."""
+    normalized = token.strip().lower()
+    aliases = {
+        "inv": "not",
+        "inverter": "not",
+        "buff": "buf",
+        "buffer": "buf",
+        "tie1": "tiehi",
+        "tie0": "tielo",
+        "vdd": "tiehi",
+        "gnd": "tielo",
+        "one": "tiehi",
+        "zero": "tielo",
+        "dffsr": "dff",
+        "fd": "dff",
+    }
+    normalized = aliases.get(normalized, normalized)
+    try:
+        return GateType(normalized)
+    except ValueError as exc:
+        raise ValueError(f"unknown gate type token: {token!r}") from exc

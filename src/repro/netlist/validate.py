@@ -1,0 +1,75 @@
+"""Netlist validation: structural checks with errors and warnings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.gate_types import MULTI_INPUT_TYPES, SOURCE_TYPES
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate`; ``ok`` iff no errors were found."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            raise NetlistError("; ".join(self.errors))
+
+
+def validate(circuit: Circuit, allow_dangling: bool = False) -> ValidationReport:
+    """Check *circuit* for structural problems.
+
+    Errors: undriven nets, undriven primary outputs, combinational cycles,
+    duplicate output listings.  Warnings: floating (unread, non-output)
+    nets, degenerate single-input multi-input gates, duplicated fanin nets.
+    *allow_dangling* suppresses the floating-net warning (useful for FEOL
+    views where broken BEOL nets intentionally dangle).
+    """
+    report = ValidationReport()
+
+    driven = set(circuit.gates)
+    for gate in circuit.gates.values():
+        for net in gate.fanin:
+            if net not in driven:
+                report.errors.append(
+                    f"gate {gate.name!r} reads undriven net {net!r}"
+                )
+        if gate.gate_type in MULTI_INPUT_TYPES and len(gate.fanin) == 1:
+            report.warnings.append(
+                f"gate {gate.name!r}: single-input {gate.gate_type.value}"
+            )
+        if len(set(gate.fanin)) != len(gate.fanin):
+            report.warnings.append(f"gate {gate.name!r}: duplicated fanin net")
+
+    seen_outputs: set[str] = set()
+    for net in circuit.outputs:
+        if net not in driven:
+            report.errors.append(f"primary output {net!r} has no driver")
+        if net in seen_outputs:
+            report.errors.append(f"primary output {net!r} listed twice")
+        seen_outputs.add(net)
+
+    try:
+        circuit.topological_order()
+    except NetlistError as exc:
+        report.errors.append(str(exc))
+
+    if not allow_dangling and not report.errors:
+        fanout = circuit.fanout_map()
+        output_set = set(circuit.outputs)
+        for net, readers in fanout.items():
+            gate = circuit.gates[net]
+            if not readers and net not in output_set:
+                if gate.gate_type in SOURCE_TYPES and gate.is_input:
+                    report.warnings.append(f"unused primary input {net!r}")
+                else:
+                    report.warnings.append(f"floating net {net!r}")
+    return report

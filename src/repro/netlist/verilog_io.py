@@ -1,0 +1,146 @@
+"""Structural Verilog subset reader/writer.
+
+Supports the flat, gate-primitive structural Verilog that synthesis flows
+exchange, e.g.::
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand U1 (N10, N1, N3);
+      not  U2 (N16, N11);
+      dff  R1 (Q, D);
+    endmodule
+
+Primitive instantiation follows the Verilog built-in gate convention:
+output first, then inputs.  TIE cells are written as ``tiehi``/``tielo``
+primitives with a single output terminal.  Instance names are optional on
+read and are regenerated on write.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.gate_types import GateType, parse_gate_type
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^;]*)\)\s*;", re.S
+)
+_DECL_RE = re.compile(r"\b(input|output|wire)\b\s+(?P<nets>[^;]+);")
+_INST_RE = re.compile(
+    r"\b(?P<prim>and|nand|or|nor|xor|xnor|not|buf|tiehi|tielo|dff)\b"
+    r"\s*(?P<inst>[A-Za-z_][\w$]*)?\s*\((?P<terms>[^;]*)\)\s*;",
+    re.I,
+)
+
+
+class VerilogParseError(NetlistError):
+    """Raised on malformed structural Verilog."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def _split_nets(decl: str) -> list[str]:
+    return [n.strip() for n in decl.split(",") if n.strip()]
+
+
+def loads(text: str, name: str | None = None) -> Circuit:
+    """Parse structural Verilog *text* into a :class:`Circuit`.
+
+    Only the first module in the file is read.  Every instantiated
+    primitive's output terminal becomes the driven net; the circuit inherits
+    the module name unless *name* overrides it.
+    """
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise VerilogParseError("no module declaration found")
+    body_start = module.end()
+    end = text.find("endmodule", body_start)
+    if end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = text[body_start:end]
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    for decl in _DECL_RE.finditer(body):
+        kind = decl.group(1)
+        nets = _split_nets(decl.group("nets"))
+        if kind == "input":
+            inputs.extend(nets)
+        elif kind == "output":
+            outputs.extend(nets)
+        # wires need no explicit registration in our model
+
+    gates: list[tuple[GateType, tuple[str, ...]]] = []
+    for inst in _INST_RE.finditer(body):
+        prim = parse_gate_type(inst.group("prim"))
+        terms = _split_nets(inst.group("terms"))
+        if not terms:
+            raise VerilogParseError(f"empty terminal list: {inst.group(0)!r}")
+        gates.append((prim, tuple(terms)))
+
+    circuit = Circuit(name or module.group("name"))
+    for net in inputs:
+        circuit.add_input(net)
+    for prim, terms in gates:
+        out, fanin = terms[0], terms[1:]
+        circuit.add(out, prim, fanin)
+    for net in outputs:
+        circuit.add_output(net)
+    circuit.fanout_map()  # validates that every read net has a driver
+    return circuit
+
+
+def load(path: str | Path, name: str | None = None) -> Circuit:
+    path = Path(path)
+    with open(path) as handle:
+        return loads(handle.read(), name=name)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise *circuit* as flat structural Verilog."""
+    ports = circuit.inputs + [o for o in circuit.outputs]
+    seen: set[str] = set()
+    unique_ports = [p for p in ports if not (p in seen or seen.add(p))]
+    lines = [f"module {_sanitize(circuit.name)} ({', '.join(unique_ports)});"]
+    if circuit.inputs:
+        lines.append(f"  input {', '.join(circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(circuit.outputs)};")
+    wires = [
+        g.name
+        for g in circuit.gates.values()
+        if not g.is_input and g.name not in circuit.outputs
+    ]
+    if wires:
+        for start in range(0, len(wires), 10):
+            chunk = wires[start : start + 10]
+            lines.append(f"  wire {', '.join(chunk)};")
+    for index, net in enumerate(circuit.topological_order()):
+        gate = circuit.gates[net]
+        if gate.is_input:
+            continue
+        terms = ", ".join((gate.name,) + gate.fanin)
+        lines.append(f"  {gate.gate_type.value} U{index} ({terms});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: str | Path) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^\w$]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"m_{cleaned}"
+    return cleaned

@@ -1,0 +1,182 @@
+"""Layout cost extraction: die area, power, timing (Fig. 5 metrics).
+
+Power = cell leakage + switching power over estimated net capacitances
+(wire length x per-um cap + sink pin caps + via caps), weighted by
+simulated toggle activity.  Timing = static timing analysis with the
+library's linear delay model plus an Elmore wire term; ECO repeaters
+split long detoured wires.  All Fig. 5 numbers are percentage deltas of
+these quantities against the unprotected baseline layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.cell_library import NANGATE45, CellLibrary
+from repro.netlist.circuit import Circuit
+from repro.phys.floorplan import Floorplan
+from repro.phys.routing import Routing
+from repro.phys.stackup import STACK, MetalStack
+from repro.sim.bitparallel import toggle_activity
+
+
+@dataclass
+class LayoutCost:
+    """Absolute cost figures of one layout."""
+
+    die_area_um2: float
+    cell_area_um2: float
+    wirelength_um: float
+    power_nw: float
+    critical_path_ps: float
+
+    def delta_percent(self, baseline: "LayoutCost") -> dict[str, float]:
+        """Percentage deltas versus *baseline* (the Fig. 5 quantities)."""
+
+        def pct(ours: float, base: float) -> float:
+            return 0.0 if base == 0 else 100.0 * (ours - base) / base
+
+        return {
+            "area": pct(self.die_area_um2, baseline.die_area_um2),
+            "power": pct(self.power_nw, baseline.power_nw),
+            "timing": pct(self.critical_path_ps, baseline.critical_path_ps),
+        }
+
+
+#: Switching-power constant: 0.5 * V^2 * f in nW per fF of switched
+#: capacitance at full activity (V = 1.1 V, f = 1 GHz):
+#: 0.5 * (1.1)^2 * 1e9 Hz * 1e-15 F = 6.05e-7 W = 605 nW.
+_DYNAMIC_NW_PER_FF = 605.0
+
+#: Assumed toggle activity of DFF outputs (pseudo inputs in the core).
+_DFF_ACTIVITY = 0.20
+
+
+def measure_layout_cost(
+    circuit: Circuit,
+    floorplan: Floorplan,
+    routing: Routing,
+    library: CellLibrary | None = None,
+    stack: MetalStack | None = None,
+    activity_patterns: int = 192,
+    activity_seed: int = 11,
+) -> LayoutCost:
+    """Compute the cost metrics of one placed-and-routed design."""
+    lib = library or NANGATE45
+    stack = stack or STACK
+
+    cell_area = 0.0
+    leakage = 0.0
+    for gate in circuit.gates.values():
+        if gate.is_input:
+            continue
+        arity = max(1, len(gate.fanin)) if not gate.is_tie else 0
+        cell_area += lib.gate_area(gate.gate_type, arity)
+        leakage += lib.gate_leakage(gate.gate_type, arity)
+
+    core = circuit.combinational_core() if circuit.is_sequential else circuit
+    activity = toggle_activity(core, activity_patterns, seed=activity_seed)
+    for dff in circuit.dffs:
+        activity[dff] = _DFF_ACTIVITY
+
+    net_caps = _net_capacitances(circuit, routing, lib, stack)
+    dynamic = 0.0
+    buffer_leakage = 0.0
+    buf_cell = lib.cell_for_buffer()
+    for net_name, cap in net_caps.items():
+        act = activity.get(net_name, 0.1)
+        dynamic += _DYNAMIC_NW_PER_FF * act * cap
+        gate = circuit.gates.get(net_name)
+        if gate is not None and not gate.is_input and not gate.is_tie:
+            # internal switching energy at 1 GHz: 1 fJ -> 1000 nW at
+            # full activity.
+            dynamic += (
+                1000.0
+                * act
+                * lib.gate_switch_energy(gate.gate_type, max(1, len(gate.fanin)))
+            )
+        routed = routing.nets.get(net_name)
+        if routed is not None and routed.eco_buffers:
+            buffer_leakage += routed.eco_buffers * buf_cell.leakage_nw
+            dynamic += (
+                routed.eco_buffers * _DYNAMIC_NW_PER_FF * act * buf_cell.input_cap_ff
+            )
+
+    critical = _critical_path(circuit, routing, net_caps, lib, stack)
+    return LayoutCost(
+        die_area_um2=floorplan.die_area_um2,
+        cell_area_um2=cell_area,
+        wirelength_um=routing.total_wirelength(),
+        power_nw=leakage + buffer_leakage + dynamic,
+        critical_path_ps=critical,
+    )
+
+
+def _net_capacitances(
+    circuit: Circuit,
+    routing: Routing,
+    lib: CellLibrary,
+    stack: MetalStack,
+) -> dict[str, float]:
+    """Total load capacitance seen by each net's driver (fF)."""
+    caps: dict[str, float] = {}
+    fanout = circuit.fanout_map()
+    for net_name in circuit.gates:
+        cap = 0.0
+        routed = routing.nets.get(net_name)
+        if routed is not None:
+            layer = stack.layer(min(routed.top_layer, stack.top))
+            cap += routed.length_um * layer.cap_ff_um
+            cap += stack.stacked_via_capacitance(1, routed.top_layer) * (
+                1 + len(routed.routes)
+            )
+        for reader in fanout[net_name]:
+            gate = circuit.gates[reader]
+            cap += lib.gate_input_cap(gate.gate_type, max(1, len(gate.fanin)))
+        caps[net_name] = cap
+    return caps
+
+
+def _critical_path(
+    circuit: Circuit,
+    routing: Routing,
+    net_caps: dict[str, float],
+    lib: CellLibrary,
+    stack: MetalStack,
+) -> float:
+    """STA over the combinational view; returns the worst path (ps)."""
+    arrival: dict[str, float] = {}
+    worst = 0.0
+    for net in circuit.topological_order():
+        gate = circuit.gates[net]
+        if gate.is_input:
+            arrival[net] = 0.0
+            continue
+        if gate.is_dff:
+            arrival[net] = lib.cell_for_dff().intrinsic_ps  # clk-to-q
+            continue
+        if gate.is_tie:
+            arrival[net] = 0.0
+            continue
+        inputs_ready = max((arrival[n] for n in gate.fanin), default=0.0)
+        load = net_caps.get(net, 0.0)
+        gate_delay = lib.gate_delay(gate.gate_type, len(gate.fanin), load)
+        wire_delay = _wire_delay(routing.nets.get(net), load, stack)
+        arrival[net] = inputs_ready + gate_delay + wire_delay
+        worst = max(worst, arrival[net])
+    return worst
+
+
+def _wire_delay(routed, load_ff: float, stack: MetalStack) -> float:
+    """Elmore-style wire delay; ECO repeaters re-linearise long detours."""
+    if routed is None or not routed.routes:
+        return 0.0
+    layer = stack.layer(min(routed.top_layer, stack.top))
+    length = routed.length_um
+    segments = routed.eco_buffers + 1
+    seg_len = length / segments
+    seg_r = seg_len * layer.res_ohm_um / 1000.0  # kohm
+    seg_c = seg_len * layer.cap_ff_um
+    elmore = seg_r * (seg_c / 2.0 + load_ff / segments)
+    repeater = 22.0 * routed.eco_buffers  # intrinsic of each repeater
+    return elmore * segments + repeater

@@ -1,0 +1,119 @@
+"""Key-net lifting to the BEOL and the ECO re-route it forces (Sec. III-B).
+
+Every key-net is implemented as two stacked-via columns — one rising from
+the TIE cell's output pin, one from the key-gate's input pin — joined by
+wiring entirely on the lift layer pair (``split_layer + 1`` and the layer
+above).  "These constraints ensure that whole key-nets are lifted to the
+BEOL at once."  No FEOL segment of a key-net exists, so the FEOL view
+contains zero routing hints for the key.
+
+The stacked-via columns pass through every FEOL routing layer and block
+tracks there; regular nets whose bounding box crosses blocked columns are
+ECO re-routed with a detour, and long detours receive repeater buffers.
+This is the mechanism behind the paper's measured power/timing cost of
+lifting ("lifting of key-nets (using stacked vias) enforces some
+re-routing of regular nets ... requires upscaling of drivers and/or
+insertion of buffers to meet timing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.locking.key import KeyBit
+from repro.phys.placement import Placement
+from repro.phys.routing import Routing
+from repro.phys.stackup import STACK, MetalStack
+
+
+@dataclass
+class LiftingResult:
+    """Bookkeeping of the lift + ECO step."""
+
+    lifted_nets: list[str] = field(default_factory=list)
+    via_columns: list[tuple[float, float]] = field(default_factory=list)
+    eco_rerouted: int = 0
+    eco_buffers: int = 0
+
+
+#: Detour penalty per blocked via column inside a net's bounding box,
+#: at the lowest lift layer; shallower lifts disturb the busy low metal
+#: more than lifts into the empty upper stack, which is why the paper
+#: measures more power cost at the M4 split (lift M5) than at M6 (M7).
+DETOUR_PER_COLUMN = 0.06
+
+#: Cap on the cumulative detour factor of one ECO-rerouted net.
+MAX_DETOUR = 1.45
+
+#: A repeater is inserted for every this many micrometres of added wire.
+BUFFER_SPACING_UM = 45.0
+
+
+def lift_key_nets(
+    routing: Routing,
+    key_bits: list[KeyBit],
+    placement: Placement,
+    split_layer: int,
+    stack: MetalStack | None = None,
+) -> LiftingResult:
+    """Lift all key-nets above *split_layer* and ECO the disturbed nets."""
+    stack = stack or STACK
+    lift_layer = split_layer + 1
+    if lift_layer + 1 > stack.top:
+        raise ValueError(
+            f"cannot lift above M{split_layer}: stack tops out at M{stack.top}"
+        )
+    result = LiftingResult()
+    # shallow lifts collide with the dense M4/M5 signal routing; deep
+    # lifts sail over it.
+    depth_factor = max(0.35, (9 - lift_layer) / 4.0)
+
+    for bit in key_bits:
+        net = routing.nets.get(bit.tie_cell)
+        if net is None:
+            raise KeyError(f"key-net {bit.tie_cell!r} was never routed")
+        net.is_key_net = True
+        net.lift_layer = lift_layer
+        result.lifted_nets.append(bit.tie_cell)
+        tie_x, tie_y = placement.pin_location(bit.tie_cell)
+        kg_x, kg_y = placement.pin_location(bit.key_gate)
+        result.via_columns.append((tie_x, tie_y))
+        result.via_columns.append((kg_x, kg_y))
+
+    _eco_reroute(routing, result, depth_factor)
+    return result
+
+
+def _eco_reroute(
+    routing: Routing, result: LiftingResult, depth_factor: float = 1.0
+) -> None:
+    """Detour regular nets crossed by stacked-via columns."""
+    if not result.via_columns:
+        return
+    for net in routing.nets.values():
+        if net.is_key_net or not net.routes:
+            continue
+        xs = [net.source.x] + [r.sink.x for r in net.routes]
+        ys = [net.source.y] + [r.sink.y for r in net.routes]
+        lo_x, hi_x = min(xs) - 0.5, max(xs) + 0.5
+        lo_y, hi_y = min(ys) - 0.5, max(ys) + 0.5
+        blocked = sum(
+            1
+            for (cx, cy) in result.via_columns
+            if lo_x <= cx <= hi_x and lo_y <= cy <= hi_y
+        )
+        if blocked == 0:
+            continue
+        base_length = sum(r.length for r in net.routes)
+        detour = min(
+            MAX_DETOUR, 1.0 + DETOUR_PER_COLUMN * depth_factor * blocked
+        )
+        if detour <= net.detour_factor:
+            continue
+        net.detour_factor = detour
+        result.eco_rerouted += 1
+        extra = base_length * (detour - 1.0)
+        buffers = int(extra // BUFFER_SPACING_UM)
+        if buffers:
+            net.eco_buffers += buffers
+            result.eco_buffers += buffers

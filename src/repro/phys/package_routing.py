@@ -1,0 +1,117 @@
+"""Trusted-packaging key routing — the paper's future-work proposal.
+
+Sec. V: "we propose — for future work — a scenario where a trusted
+packaging facility replaces the trusted BEOL fab.  As the security of our
+approach stems from hiding the bit assignments for the key-nets, these
+nets can also be connected to the IO ports of a chip and, in turn, tied
+to fixed logic at the (trusted) package routing level."
+
+This module implements that variant: instead of TIE cells inside the die
+with BEOL-lifted nets, every key-gate input is wired to a dedicated key
+IO pad; the polarity assignment lives only in the package substrate
+(which pad straps to VDD, which to VSS).  The *entire* chip — FEOL and
+BEOL — can then come from untrusted foundries; only the package routing
+is trusted.
+
+The FEOL/BEOL view an attacker obtains contains the key pads (position,
+order) but no polarity: the same Kerckhoff argument applies, and the
+evaluation harness shows the same 50% logical-CCR floor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.locking.key import KeyBit, LockedCircuit
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+
+
+@dataclass
+class PackageAssignment:
+    """The trusted package's strap table: pad name -> logic constant."""
+
+    straps: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[int, ...]:
+        return tuple(self.straps[p] for p in sorted(self.straps))
+
+
+@dataclass
+class PackagedDesign:
+    """A design whose key enters through package-strapped IO pads."""
+
+    die_netlist: Circuit  # key-gates read pad inputs; no TIE cells inside
+    key_pads: list[str]  # pad (primary-input) names, one per key bit
+    assignment: PackageAssignment  # stays with the trusted packaging house
+    key_bits: list[KeyBit] = field(default_factory=list)
+
+    def with_straps(self, guess: dict[str, int] | list[int]) -> Circuit:
+        """The chip as it behaves under a given strap table.
+
+        Models both the legitimate assembly (correct straps) and an
+        attacker overbuilding dies and trying strap combinations.
+        """
+        if not isinstance(guess, dict):
+            guess = dict(zip(self.key_pads, guess))
+        strapped = Circuit(f"{self.die_netlist.name}_strapped")
+        for gate in self.die_netlist.gates.values():
+            if gate.is_input and gate.name in guess:
+                tie = GateType.TIEHI if guess[gate.name] else GateType.TIELO
+                strapped.add(gate.name, tie)
+            else:
+                strapped.add_gate(gate)
+        for net in self.die_netlist.outputs:
+            strapped.add_output(net)
+        return strapped
+
+
+def package_route_keys(locked: LockedCircuit) -> PackagedDesign:
+    """Convert a BEOL-keyed design into the trusted-packaging variant.
+
+    Every TIE cell is replaced by a primary input (the key pad); the
+    polarity moves into the package strap table.  The die netlist then
+    contains no key information at all — under Kerckhoff's principle the
+    whole die can be fabricated untrusted.
+    """
+    die = Circuit(f"{locked.circuit.name}_pkg")
+    pads: list[str] = []
+    straps: dict[str, int] = {}
+    tie_set = set(locked.tie_cells)
+    for gate in locked.circuit.gates.values():
+        if gate.name in tie_set:
+            die.add(gate.name, GateType.INPUT)
+            pads.append(gate.name)
+            straps[gate.name] = (
+                1 if gate.gate_type is GateType.TIEHI else 0
+            )
+        else:
+            die.add_gate(gate)
+    for net in locked.circuit.outputs:
+        die.add_output(net)
+    return PackagedDesign(
+        die_netlist=die,
+        key_pads=pads,
+        assignment=PackageAssignment(straps),
+        key_bits=list(locked.key_bits),
+    )
+
+
+def attack_packaged_design(
+    packaged: PackagedDesign, seed: int = 0
+) -> tuple[dict[str, int], float]:
+    """The strongest die-level attacker: guess the strap table.
+
+    The attacker holds the full die netlist (FEOL *and* BEOL) but the
+    strap polarities live off-die.  Without an oracle nothing constrains
+    them, so the best strategy is uniform guessing; returns the guess and
+    its logical CCR against the true assignment (expected: ~50%).
+    """
+    rng = random.Random(seed)
+    guess = {pad: rng.randrange(2) for pad in packaged.key_pads}
+    truth = packaged.assignment.straps
+    correct = sum(1 for pad in packaged.key_pads if guess[pad] == truth[pad])
+    ccr = 100.0 * correct / len(packaged.key_pads) if packaged.key_pads else 0.0
+    return guess, ccr

@@ -1,0 +1,287 @@
+"""Standard-cell placement: force-directed global placement + legalization.
+
+The placer is intentionally faithful to the *behaviour* proximity attacks
+exploit: connected cells are pulled toward each other (star net model), so
+to-be-connected pins end up physically close — "to-be-connected cells are
+placed nearby in the FEOL, mainly to minimize delay".  The whole pipeline
+is deterministic given the seed.
+
+Fixed cells (the randomized TIE cells, marked ``dont_touch``) keep their
+sites; the legalizer never moves them and packs movable cells around them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netlist.cell_library import (
+    NANGATE45,
+    ROW_HEIGHT_UM,
+    SITE_WIDTH_UM,
+    CellLibrary,
+)
+from repro.netlist.circuit import Circuit
+from repro.phys.floorplan import Floorplan
+
+
+@dataclass
+class Placement:
+    """Cell locations: gate name -> (x, y) of the cell origin (um)."""
+
+    locations: dict[str, tuple[float, float]] = field(default_factory=dict)
+    fixed: set[str] = field(default_factory=set)
+    widths_sites: dict[str, int] = field(default_factory=dict)
+
+    def location(self, gate: str) -> tuple[float, float]:
+        return self.locations[gate]
+
+    def pin_location(self, gate: str) -> tuple[float, float]:
+        """Approximate pin location: cell centre."""
+        x, y = self.locations[gate]
+        width = self.widths_sites.get(gate, 1) * SITE_WIDTH_UM
+        return (x + width / 2.0, y + ROW_HEIGHT_UM / 2.0)
+
+
+def place(
+    circuit: Circuit,
+    floorplan: Floorplan,
+    seed: int = 2019,
+    iterations: int = 24,
+    fixed_cells: dict[str, tuple[float, float]] | None = None,
+    ignore_nets: set[str] | None = None,
+    library: CellLibrary | None = None,
+) -> Placement:
+    """Place *circuit* onto *floorplan*; returns a legal placement.
+
+    *fixed_cells* pins the named gates at the given locations (TIE cells
+    after randomization).  *ignore_nets* removes the named nets from the
+    attraction model — the paper's "TIE cells are detached from the
+    key-gates [before placement] to avoid inducing any layout-level
+    hints".  Primary inputs are represented by their pads and act as fixed
+    anchors; they own no placement site.
+    """
+    lib = library or NANGATE45
+    ignore_nets = ignore_nets or set()
+    rng = random.Random(seed)
+    movable = [
+        g.name
+        for g in circuit.gates.values()
+        if not g.is_input and (fixed_cells is None or g.name not in fixed_cells)
+    ]
+    fixed_cells = dict(fixed_cells or {})
+
+    positions: dict[str, tuple[float, float]] = {}
+    for name in movable:
+        positions[name] = (
+            rng.uniform(0, floorplan.width_um),
+            rng.uniform(0, floorplan.height_um),
+        )
+    positions.update(fixed_cells)
+
+    anchors = dict(floorplan.pad_ring.pads)
+
+    def pin_pos(net: str) -> tuple[float, float] | None:
+        if net in positions:
+            return positions[net]
+        if net in anchors:
+            return anchors[net]
+        return None
+
+    # Quadratic placement by Jacobi relaxation on the connectivity
+    # Laplacian: each movable cell repeatedly moves to the mean of its
+    # neighbours (pads and fixed cells act as boundary conditions).  This
+    # is the classic analytic-placement objective whose determinism and
+    # wirelength focus create the proximity hints attacks rely on.
+    neighbours: dict[str, list[str]] = {name: [] for name in movable}
+    fanout = circuit.fanout_map()
+
+    def add_edge(a: str, b: str) -> None:
+        if a in neighbours:
+            neighbours[a].append(b)
+        if b in neighbours:
+            neighbours[b].append(a)
+
+    for gate in circuit.gates.values():
+        if gate.name in ignore_nets:
+            continue  # detached: exerts no attraction
+        if gate.is_input and gate.name not in anchors:
+            continue  # floating input without a pad: no pull
+        for reader in fanout[gate.name]:
+            add_edge(gate.name, reader)
+    for net in circuit.outputs:
+        key = f"PO:{net}"
+        if key in anchors:
+            add_edge(net, key)
+
+    def fixed_pos(name: str) -> tuple[float, float] | None:
+        if name in anchors:
+            return anchors[name]
+        if name in fixed_cells:
+            return fixed_cells[name]
+        return None
+
+    for _ in range(max(iterations, 40)):
+        updates: dict[str, tuple[float, float]] = {}
+        for name in movable:
+            pulls = []
+            for other in neighbours[name]:
+                p = fixed_pos(other)
+                if p is None:
+                    p = positions.get(other)
+                if p is not None:
+                    pulls.append(p)
+            if not pulls:
+                continue
+            updates[name] = (
+                sum(p[0] for p in pulls) / len(pulls),
+                sum(p[1] for p in pulls) / len(pulls),
+            )
+        positions.update(updates)
+
+    # Order-preserving spread: relaxation clumps cells around the die
+    # centre; remap each axis to its rank percentile so density is even
+    # while relative order (= locality) is kept.  Small deterministic
+    # jitter breaks rank ties.
+    if movable:
+        by_x = sorted(movable, key=lambda n: (positions[n][0], n))
+        by_y = sorted(movable, key=lambda n: (positions[n][1], n))
+        span_x = floorplan.width_um - SITE_WIDTH_UM
+        span_y = floorplan.height_um - ROW_HEIGHT_UM
+        new_x = {
+            name: (rank + 0.5) / len(by_x) * span_x
+            for rank, name in enumerate(by_x)
+        }
+        new_y = {
+            name: (rank + 0.5) / len(by_y) * span_y
+            for rank, name in enumerate(by_y)
+        }
+        for name in movable:
+            positions[name] = (
+                new_x[name] + rng.uniform(-0.1, 0.1),
+                new_y[name] + rng.uniform(-0.1, 0.1),
+            )
+
+    placement = Placement()
+    placement.fixed = set(fixed_cells)
+    for gate in circuit.gates.values():
+        if gate.is_input:
+            continue
+        if gate.is_tie:
+            cells = [lib.cell_for(gate.gate_type, 0)]
+        else:
+            cells = lib.mapping_for(gate.gate_type, max(1, len(gate.fanin)))
+        placement.widths_sites[gate.name] = sum(c.width_sites for c in cells)
+    _legalize(placement, positions, floorplan, movable, fixed_cells)
+    return placement
+
+
+def _legalize(
+    placement: Placement,
+    positions: dict[str, tuple[float, float]],
+    floorplan: Floorplan,
+    movable: list[str],
+    fixed_cells: dict[str, tuple[float, float]],
+) -> None:
+    """Snap cells to rows/sites without overlaps (greedy row packing).
+
+    Cells are processed in global-position order per row; each takes the
+    nearest free site run wide enough for it.  Fixed cells reserve their
+    sites first.
+    """
+    occupied: dict[int, list[tuple[int, int, str]]] = {
+        row: [] for row in range(floorplan.num_rows)
+    }
+
+    def reserve(row: int, start: int, width: int, name: str) -> None:
+        occupied[row].append((start, start + width, name))
+
+    def fits(row: int, start: int, width: int) -> bool:
+        if start < 0 or start + width > floorplan.sites_per_row:
+            return False
+        for s, e, _ in occupied[row]:
+            if start < e and s < start + width:
+                return False
+        return True
+
+    for name, (x, y) in fixed_cells.items():
+        row, site = floorplan.snap(x, y)
+        width = placement.widths_sites.get(name, 1)
+        reserve(row, site, width, name)
+        placement.locations[name] = (
+            floorplan.site_x(site),
+            floorplan.row_y(row),
+        )
+
+    def nearest_fit_in_row(row: int, site: int, width: int) -> int | None:
+        """Closest feasible start site in *row*, or None when row is full."""
+        runs = sorted(occupied[row])
+        best: int | None = None
+        best_cost = float("inf")
+        cursor = 0
+        for run_start, run_end, _ in runs + [
+            (floorplan.sites_per_row, floorplan.sites_per_row, "")
+        ]:
+            gap_start, gap_end = cursor, run_start
+            cursor = max(cursor, run_end)
+            if gap_end - gap_start < width:
+                continue
+            candidate = min(max(site, gap_start), gap_end - width)
+            cost = abs(candidate - site)
+            if cost < best_cost:
+                best_cost = cost
+                best = candidate
+        return best
+
+    order = sorted(movable, key=lambda n: (positions[n][1], positions[n][0]))
+    for name in order:
+        x, y = positions[name]
+        row, site = floorplan.snap(x, y)
+        width = placement.widths_sites.get(name, 1)
+        placed = False
+        for d_row in sorted(
+            range(-floorplan.num_rows, floorplan.num_rows), key=abs
+        ):
+            r = row + d_row
+            if r < 0 or r >= floorplan.num_rows:
+                continue
+            s = nearest_fit_in_row(r, site, width)
+            if s is None:
+                continue
+            reserve(r, s, width, name)
+            placement.locations[name] = (
+                floorplan.site_x(s),
+                floorplan.row_y(r),
+            )
+            placed = True
+            break
+        if not placed:
+            raise RuntimeError(
+                f"legalization failed for {name}: floorplan too full "
+                f"(lower the utilization)"
+            )
+
+
+def half_perimeter_wirelength(
+    circuit: Circuit, placement: Placement, floorplan: Floorplan
+) -> float:
+    """Total HPWL over all nets (um) — the placer's quality metric."""
+    anchors = floorplan.pad_ring.pads
+    fanout = circuit.fanout_map()
+    total = 0.0
+    for gate in circuit.gates.values():
+        points: list[tuple[float, float]] = []
+        if gate.is_input:
+            if gate.name in anchors:
+                points.append(anchors[gate.name])
+        else:
+            points.append(placement.pin_location(gate.name))
+        for reader in fanout[gate.name]:
+            points.append(placement.pin_location(reader))
+        if gate.name in circuit.outputs and f"PO:{gate.name}" in anchors:
+            points.append(anchors[f"PO:{gate.name}"])
+        if len(points) >= 2:
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total

@@ -1,0 +1,106 @@
+"""Metal-stack model: layers, preferred directions, RC, via stacks.
+
+Mirrors a 45nm back-end: M1 for cell-internal pins, M2-M3 thin FEOL
+routing, M4+ progressively thicker/sparser.  The *split layer* divides the
+stack: FEOL keeps every layer up to and including it, the BEOL (trusted
+fab) grows the rest.  Key-nets are lifted to ``split_layer + 1`` via
+stacked vias, exactly as the paper routes keys to M5/M7 for splits at
+M4/M6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One routing layer.
+
+    direction: 'H' or 'V' preferred routing direction
+    pitch_um: track pitch in micrometres
+    res_ohm_um: wire resistance per micrometre
+    cap_ff_um: wire capacitance per micrometre
+    """
+
+    index: int  # 1-based (M1, M2, ...)
+    name: str
+    direction: str
+    pitch_um: float
+    res_ohm_um: float
+    cap_ff_um: float
+
+    @property
+    def horizontal(self) -> bool:
+        return self.direction == "H"
+
+
+def _layer(i: int, direction: str, pitch: float, res: float, cap: float) -> MetalLayer:
+    return MetalLayer(i, f"M{i}", direction, pitch, res, cap)
+
+
+#: Ten-layer stack: thin lower metals, fat upper metals (lower RC).
+DEFAULT_LAYERS = [
+    _layer(1, "H", 0.19, 3.80, 0.22),
+    _layer(2, "V", 0.19, 3.80, 0.22),
+    _layer(3, "H", 0.25, 2.50, 0.21),
+    _layer(4, "V", 0.28, 1.90, 0.20),
+    _layer(5, "H", 0.28, 1.90, 0.20),
+    _layer(6, "V", 0.36, 1.20, 0.19),
+    _layer(7, "H", 0.36, 1.20, 0.19),
+    _layer(8, "V", 0.57, 0.65, 0.18),
+    _layer(9, "H", 0.57, 0.65, 0.18),
+    _layer(10, "V", 1.14, 0.30, 0.17),
+]
+
+#: Resistance of one cut via between adjacent layers (ohm).
+VIA_RES_OHM = 4.5
+
+#: Capacitance contributed by one via (fF).
+VIA_CAP_FF = 0.08
+
+
+class MetalStack:
+    """Lookup and helpers over an ordered list of metal layers."""
+
+    def __init__(self, layers: list[MetalLayer] | None = None) -> None:
+        self.layers = list(layers or DEFAULT_LAYERS)
+        self._by_index = {layer.index: layer for layer in self.layers}
+
+    def layer(self, index: int) -> MetalLayer:
+        try:
+            return self._by_index[index]
+        except KeyError as exc:
+            raise KeyError(f"no metal layer M{index}") from exc
+
+    @property
+    def top(self) -> int:
+        return self.layers[-1].index
+
+    def routing_pair(self, lower: int) -> tuple[MetalLayer, MetalLayer]:
+        """An (H, V) layer pair starting at *lower* (order normalised)."""
+        a = self.layer(lower)
+        b = self.layer(lower + 1)
+        return (a, b) if a.horizontal else (b, a)
+
+    def feol_layers(self, split_layer: int) -> list[MetalLayer]:
+        """Layers manufactured by the untrusted FEOL foundry."""
+        return [l for l in self.layers if l.index <= split_layer]
+
+    def beol_layers(self, split_layer: int) -> list[MetalLayer]:
+        """Layers grown later at the trusted facility."""
+        return [l for l in self.layers if l.index > split_layer]
+
+    def stacked_via_resistance(self, from_layer: int, to_layer: int) -> float:
+        """Resistance of a stacked via column between two layers."""
+        return VIA_RES_OHM * abs(to_layer - from_layer)
+
+    def stacked_via_capacitance(self, from_layer: int, to_layer: int) -> float:
+        return VIA_CAP_FF * abs(to_layer - from_layer)
+
+
+#: Default stack instance shared across the project.
+STACK = MetalStack()
+
+#: Split configurations evaluated in the paper (split layer -> lift layer).
+PAPER_SPLITS = {4: 5, 6: 7}

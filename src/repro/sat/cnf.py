@@ -1,0 +1,80 @@
+"""CNF formula container with DIMACS-style signed-integer literals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: clauses over variables ``1..num_vars``.
+
+    Literals are non-zero ints; negative means complemented.  The container
+    enforces no semantics beyond literal well-formedness, so it can hold
+    intermediate encodings during construction.
+    """
+
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause (formula trivially UNSAT)")
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("literal 0 is reserved")
+            if abs(literal) > self.num_vars:
+                raise ValueError(
+                    f"literal {literal} references variable beyond "
+                    f"num_vars={self.num_vars}"
+                )
+        self.clauses.append(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        cnf = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("c", "%")):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                cnf.num_vars = int(parts[2])
+                continue
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals.pop()
+            if literals:
+                cnf.add_clause(literals)
+        return cnf
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Check a full assignment (variable -> bool) satisfies the CNF."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(l)] == (l > 0) for l in clause
+            ):
+                return False
+        return True

@@ -1,0 +1,124 @@
+"""Tseitin encoding of circuits into CNF.
+
+Every net receives a CNF variable; each gate contributes the standard
+clause set tying its output variable to its fanin variables.  The encoding
+is equisatisfiable *and* (because we encode every gate) assignment-faithful:
+any satisfying assignment restricted to net variables is a consistent
+simulation trace of the circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.sat.cnf import Cnf
+
+
+@dataclass
+class CircuitEncoding:
+    """CNF plus the net-name -> variable map produced by the encoder."""
+
+    cnf: Cnf
+    var_of: dict[str, int] = field(default_factory=dict)
+
+    def literal(self, net: str, value: int) -> int:
+        """Literal asserting *net* carries *value*."""
+        var = self.var_of[net]
+        return var if value else -var
+
+
+def encode_gate(cnf: Cnf, gate_type: GateType, out: int, fanin: list[int]) -> None:
+    """Append the Tseitin clauses of one gate to *cnf*."""
+    if gate_type is GateType.TIEHI:
+        cnf.add_unit(out)
+        return
+    if gate_type is GateType.TIELO:
+        cnf.add_unit(-out)
+        return
+    if gate_type is GateType.BUF:
+        a = fanin[0]
+        cnf.add_clause((-a, out))
+        cnf.add_clause((a, -out))
+        return
+    if gate_type is GateType.NOT:
+        a = fanin[0]
+        cnf.add_clause((a, out))
+        cnf.add_clause((-a, -out))
+        return
+    if gate_type in (GateType.AND, GateType.NAND):
+        polarity = 1 if gate_type is GateType.AND else -1
+        y = polarity * out
+        for a in fanin:
+            cnf.add_clause((-y, a))
+        cnf.add_clause(tuple(-a for a in fanin) + (y,))
+        return
+    if gate_type in (GateType.OR, GateType.NOR):
+        polarity = 1 if gate_type is GateType.OR else -1
+        y = polarity * out
+        for a in fanin:
+            cnf.add_clause((y, -a))
+        cnf.add_clause(tuple(fanin) + (-y,))
+        return
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if len(fanin) == 1:  # degenerate single-input XOR/XNOR
+            a = fanin[0]
+            if gate_type is GateType.XOR:
+                cnf.add_clause((-a, out))
+                cnf.add_clause((a, -out))
+            else:
+                cnf.add_clause((a, out))
+                cnf.add_clause((-a, -out))
+            return
+        # chain XORs pairwise through auxiliary variables; the final link
+        # targets `out` directly (sign-flipped for XNOR).
+        acc = fanin[0]
+        for index in range(1, len(fanin)):
+            b = fanin[index]
+            if index == len(fanin) - 1:
+                y = out if gate_type is GateType.XOR else -out
+            else:
+                y = cnf.new_var()
+            _encode_xor2(cnf, y, acc, b)
+            acc = y
+        return
+    raise ValueError(f"cannot encode gate type {gate_type!r}")
+
+
+def _encode_xor2(cnf: Cnf, y: int, a: int, b: int) -> None:
+    """Clauses for y = a XOR b (y may be a negative literal)."""
+    cnf.add_clause((-a, -b, -y))
+    cnf.add_clause((a, b, -y))
+    cnf.add_clause((a, -b, y))
+    cnf.add_clause((-a, b, y))
+
+
+def encode_circuit(
+    circuit: Circuit,
+    cnf: Cnf | None = None,
+    var_of: dict[str, int] | None = None,
+) -> CircuitEncoding:
+    """Encode *circuit* into CNF (shared *cnf*/*var_of* support miters).
+
+    Nets already present in *var_of* are reused, which is how a miter
+    shares primary-input variables between the two circuit copies.
+    """
+    if circuit.is_sequential:
+        raise ValueError("encode the combinational core of sequential designs")
+    cnf = cnf if cnf is not None else Cnf()
+    var_of = var_of if var_of is not None else {}
+    for net in circuit.topological_order():
+        if net not in var_of:
+            var_of[net] = cnf.new_var()
+    for net in circuit.topological_order():
+        gate = circuit.gates[net]
+        if gate.is_input:
+            continue
+        encode_gate(
+            cnf,
+            gate.gate_type,
+            var_of[net],
+            [var_of[n] for n in gate.fanin],
+        )
+    return CircuitEncoding(cnf, var_of)

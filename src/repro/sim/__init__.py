@@ -1,0 +1,36 @@
+"""Logic simulation: bit-parallel, event-driven, and sequential engines."""
+
+from repro.sim.bitparallel import (
+    count_differing_lanes,
+    exhaustive_words,
+    functions_equal_exhaustive,
+    mask_for,
+    output_words,
+    pack_patterns,
+    random_words,
+    signal_probabilities,
+    simulate_patterns,
+    simulate_words,
+    toggle_activity,
+    unpack_word,
+)
+from repro.sim.event_sim import evaluate_outputs, simulate_event_driven
+from repro.sim.sequential import SequentialSimulator
+
+__all__ = [
+    "SequentialSimulator",
+    "count_differing_lanes",
+    "evaluate_outputs",
+    "exhaustive_words",
+    "functions_equal_exhaustive",
+    "mask_for",
+    "output_words",
+    "pack_patterns",
+    "random_words",
+    "signal_probabilities",
+    "simulate_event_driven",
+    "simulate_patterns",
+    "simulate_words",
+    "toggle_activity",
+    "unpack_word",
+]

@@ -1,0 +1,46 @@
+"""Test-pattern sources for simulation campaigns."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+
+def random_pattern(width: int, rng: random.Random) -> tuple[int, ...]:
+    """One uniform random 0/1 pattern of *width* bits."""
+    return tuple(rng.randrange(2) for _ in range(width))
+
+
+def random_patterns(
+    width: int, count: int, rng: random.Random
+) -> list[tuple[int, ...]]:
+    """*count* uniform random patterns."""
+    return [random_pattern(width, rng) for _ in range(count)]
+
+
+def exhaustive_patterns(width: int) -> Iterator[tuple[int, ...]]:
+    """All 2^width patterns in counting order (LSB = position 0)."""
+    for value in range(1 << width):
+        yield tuple((value >> i) & 1 for i in range(width))
+
+
+def walking_ones(width: int) -> list[tuple[int, ...]]:
+    """Patterns with exactly one 1, plus the all-zero pattern."""
+    rows = [tuple(0 for _ in range(width))]
+    for position in range(width):
+        rows.append(tuple(1 if i == position else 0 for i in range(width)))
+    return rows
+
+
+def pattern_to_int(pattern: Sequence[int]) -> int:
+    """Pack a 0/1 pattern into an integer (position 0 = LSB)."""
+    value = 0
+    for index, bit in enumerate(pattern):
+        if bit:
+            value |= 1 << index
+    return value
+
+
+def int_to_pattern(value: int, width: int) -> tuple[int, ...]:
+    """Inverse of :func:`pattern_to_int`."""
+    return tuple((value >> i) & 1 for i in range(width))

@@ -1,0 +1,17 @@
+"""Re-synthesis substrate: constant propagation, simplification, strash."""
+
+from repro.synth.constprop import constant_nets, inject_stuck_at, propagate_constants
+from repro.synth.resynth import ResynthReport, resynthesize
+from repro.synth.simplify import simplify, simplify_once
+from repro.synth.strash import strash
+
+__all__ = [
+    "ResynthReport",
+    "constant_nets",
+    "inject_stuck_at",
+    "propagate_constants",
+    "resynthesize",
+    "simplify",
+    "simplify_once",
+    "strash",
+]

@@ -1,0 +1,129 @@
+"""Constant propagation and stuck-at fault injection.
+
+The paper's locking technique re-synthesizes the circuit after injecting a
+stuck-at fault so that "the stuck-at logic parts" are removed — that is
+exactly constant propagation from the fault site plus dead-logic removal.
+This module implements the rewrite worklist; :mod:`repro.synth.simplify`
+holds the local identities and :func:`repro.netlist.transforms.sweep_dead_logic`
+reclaims the dead cone.
+"""
+
+from __future__ import annotations
+
+from repro.atpg.faults import StuckAtFault
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.gate_types import GateType
+
+
+def inject_stuck_at(circuit: Circuit, fault: StuckAtFault) -> Circuit:
+    """Return a copy of *circuit* with *fault* hard-wired.
+
+    The driver of the fault net is replaced by a TIE cell of the stuck
+    value; the old driver cone becomes dead logic (removed by a subsequent
+    :func:`repro.synth.resynth.resynthesize` pass).
+    """
+    faulty = circuit.copy(f"{circuit.name}_fi")
+    tie_type = GateType.TIEHI if fault.value else GateType.TIELO
+    faulty.replace_gate(Gate(fault.net, tie_type, ()))
+    return faulty
+
+
+def constant_nets(circuit: Circuit) -> dict[str, int]:
+    """Nets currently driven by TIE cells, with their constant value."""
+    constants: dict[str, int] = {}
+    for gate in circuit.gates.values():
+        if gate.gate_type is GateType.TIEHI:
+            constants[gate.name] = 1
+        elif gate.gate_type is GateType.TIELO:
+            constants[gate.name] = 0
+    return constants
+
+
+def propagate_constants(circuit: Circuit, protected: set[str] | None = None) -> int:
+    """Fold constants through the netlist in place; returns #rewrites.
+
+    Gates whose names are in *protected* (the ``set_dont_touch`` set: TIE
+    cells implementing key bits and key-gates) are never rewritten, and
+    protected TIE nets are not treated as foldable constants — mirroring
+    the paper's use of ``set_dont_touch``/``set_dont_touch_network``.
+    """
+    protected = protected or set()
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        constants = {
+            net: value
+            for net, value in constant_nets(circuit).items()
+            if net not in protected
+        }
+        if not constants:
+            break
+        for gate in list(circuit.gates.values()):
+            if gate.name in protected or gate.is_input or gate.is_dff or gate.is_tie:
+                continue
+            const_in = [n for n in gate.fanin if n in constants]
+            if not const_in:
+                continue
+            replacement = _fold_gate(gate, constants)
+            if replacement is not None:
+                circuit.replace_gate(replacement)
+                rewrites += 1
+                changed = True
+    return rewrites
+
+
+def _fold_gate(gate: Gate, constants: dict[str, int]) -> Gate | None:
+    """Simplify *gate* given some constant fanin values, or None."""
+    gate_type = gate.gate_type
+    if gate_type is GateType.BUF:
+        value = constants[gate.fanin[0]]
+        return _tie(gate.name, value)
+    if gate_type is GateType.NOT:
+        value = constants[gate.fanin[0]]
+        return _tie(gate.name, 1 - value)
+
+    if gate_type in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+        controlling = 0 if gate_type in (GateType.AND, GateType.NAND) else 1
+        inverted = gate_type in (GateType.NAND, GateType.NOR)
+        remaining: list[str] = []
+        for net in gate.fanin:
+            value = constants.get(net)
+            if value is None:
+                remaining.append(net)
+            elif value == controlling:
+                return _tie(gate.name, controlling ^ (1 if inverted else 0))
+            # non-controlling constants simply drop out
+        if not remaining:
+            # all inputs were non-controlling constants
+            return _tie(gate.name, (1 - controlling) ^ (1 if inverted else 0))
+        if len(remaining) == 1:
+            new_type = GateType.NOT if inverted else GateType.BUF
+            return Gate(gate.name, new_type, tuple(remaining))
+        if len(remaining) < len(gate.fanin):
+            return Gate(gate.name, gate_type, tuple(remaining))
+        return None
+
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        parity = 0 if gate_type is GateType.XOR else 1
+        remaining = []
+        for net in gate.fanin:
+            value = constants.get(net)
+            if value is None:
+                remaining.append(net)
+            else:
+                parity ^= value
+        if not remaining:
+            return _tie(gate.name, parity)
+        if len(remaining) == 1:
+            new_type = GateType.NOT if parity else GateType.BUF
+            return Gate(gate.name, new_type, tuple(remaining))
+        if len(remaining) < len(gate.fanin):
+            new_type = GateType.XNOR if parity else GateType.XOR
+            return Gate(gate.name, new_type, tuple(remaining))
+        return None
+    return None
+
+
+def _tie(name: str, value: int) -> Gate:
+    return Gate(name, GateType.TIEHI if value else GateType.TIELO, ())

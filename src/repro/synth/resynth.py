@@ -1,0 +1,64 @@
+"""Re-synthesis driver: the role Synopsys DC plays in the paper's flow.
+
+``resynthesize`` iterates constant propagation, local simplification,
+structural hashing and dead-logic sweeping to a fixpoint.  It is invoked
+(1) after fault injection, where it removes the logic implied by the
+stuck-at constant (the source of the paper's area savings), and (2) after
+restore-circuitry insertion, where the protected set keeps TIE cells and
+key-nets untouched (``set_dont_touch`` / ``set_dont_touch_network``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.cell_library import NANGATE45, CellLibrary
+from repro.netlist.circuit import Circuit
+from repro.netlist.transforms import count_area, sweep_dead_logic
+from repro.synth.constprop import propagate_constants
+from repro.synth.simplify import simplify
+from repro.synth.strash import strash
+
+
+@dataclass
+class ResynthReport:
+    """What one re-synthesis run changed."""
+
+    rewrites: int
+    merged: int
+    swept: int
+    area_before: float
+    area_after: float
+
+    @property
+    def area_delta_percent(self) -> float:
+        if self.area_before == 0:
+            return 0.0
+        return 100.0 * (self.area_after - self.area_before) / self.area_before
+
+
+def resynthesize(
+    circuit: Circuit,
+    protected: set[str] | None = None,
+    library: CellLibrary | None = None,
+    max_rounds: int = 50,
+) -> ResynthReport:
+    """Optimise *circuit* in place to a fixpoint; returns a report."""
+    lib = library or NANGATE45
+    protected = protected or set()
+    area_before = count_area(circuit, lib)
+    rewrites = merged = swept = 0
+    for _ in range(max_rounds):
+        round_edits = 0
+        round_edits += (r := propagate_constants(circuit, protected))
+        rewrites += r
+        round_edits += (s := simplify(circuit, protected))
+        rewrites += s
+        round_edits += (m := strash(circuit, protected))
+        merged += m
+        round_edits += (d := sweep_dead_logic(circuit, keep=protected))
+        swept += d
+        if round_edits == 0:
+            break
+    area_after = count_area(circuit, lib)
+    return ResynthReport(rewrites, merged, swept, area_before, area_after)

@@ -1,0 +1,64 @@
+"""Structural hashing: merge gates computing the identical function.
+
+Two gates merge when they share the gate type and the same fanin multiset
+(commutative inputs are order-normalised).  TIE cells of equal polarity
+also merge — except protected ones, since the locking flow requires one
+*distinct* TIE cell per key bit (``set_dont_touch``).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.netlist.transforms import substitute_net
+
+_COMMUTATIVE = {
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+}
+
+
+def strash(circuit: Circuit, protected: set[str] | None = None) -> int:
+    """Merge structurally identical gates in place; returns #merged.
+
+    Primary outputs are preserved: when a to-be-merged gate drives a PO,
+    the PO alias moves to the representative.  Gates in *protected* are
+    neither removed nor used as merge representatives for others (their
+    identity matters to the layout stage).
+    """
+    protected = protected or set()
+    merged_total = 0
+    changed = True
+    while changed:
+        changed = False
+        signature_of: dict[tuple, str] = {}
+        for net in circuit.topological_order():
+            gate = circuit.gates[net]
+            if gate.is_input or gate.is_dff or net in protected:
+                continue
+            if gate.is_tie:
+                signature = (gate.gate_type, ())
+            else:
+                fanin = (
+                    tuple(sorted(gate.fanin))
+                    if gate.gate_type in _COMMUTATIVE
+                    else gate.fanin
+                )
+                signature = (gate.gate_type, fanin)
+            representative = signature_of.get(signature)
+            if representative is None:
+                signature_of[signature] = net
+                continue
+            if net in circuit.outputs and representative in circuit.outputs:
+                continue  # merging would alias two primary outputs
+            substitute_net(circuit, net, representative)
+            circuit.remove_gate(net)
+            merged_total += 1
+            changed = True
+        # one full pass per iteration; loop to fixpoint because merges can
+        # expose new structural matches upstream of the merge point.
+    return merged_total

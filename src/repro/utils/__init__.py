@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG streams and table rendering."""
+
+from repro.utils.rng import derive_seed, np_rng_for, random_bits, rng_for
+from repro.utils.tables import paper_vs_measured, render_table
+
+__all__ = [
+    "derive_seed",
+    "np_rng_for",
+    "paper_vs_measured",
+    "random_bits",
+    "render_table",
+    "rng_for",
+]

@@ -1,0 +1,125 @@
+"""Benchmark generator tests: profiles, determinism, structural health."""
+
+import pytest
+
+from repro.benchgen import (
+    ISCAS85_PROFILES,
+    ITC99_PROFILES,
+    TABLE_I_BENCHMARKS,
+    TABLE_III_BENCHMARKS,
+    GeneratorConfig,
+    c17,
+    generate_random_circuit,
+    load_iscas85,
+    load_itc99,
+    profile,
+)
+from repro.netlist.validate import validate
+from repro.sim.bitparallel import functions_equal_exhaustive
+
+
+def test_c17_is_exact():
+    circuit = c17()
+    assert circuit.num_logic_gates() == 6
+    assert all(g.gate_type.value == "nand" for g in circuit if not g.is_input)
+
+
+def test_profiles_lookup():
+    assert profile("c432").num_inputs == 36
+    assert profile("b17").num_dffs == 1415
+    with pytest.raises(KeyError):
+        profile("c9999")
+
+
+def test_table_lists_cover_paper():
+    assert set(TABLE_I_BENCHMARKS) == {"b14", "b15", "b17", "b20", "b21", "b22"}
+    assert len(TABLE_III_BENCHMARKS) == 7
+
+
+def test_iscas_interfaces_match_profiles():
+    for name in ("c432", "c880", "c1355"):
+        circuit = load_iscas85(name)
+        prof = ISCAS85_PROFILES[name]
+        assert len(circuit.inputs) == prof.num_inputs
+        assert len(circuit.outputs) == prof.num_outputs
+        # gate count within 25% of the published count (generation slack)
+        assert abs(circuit.num_logic_gates() - prof.gates) / prof.gates < 0.25
+
+
+def test_itc99_interfaces_match_profiles():
+    for name in ("b14", "b15"):
+        circuit = load_itc99(name)
+        prof = ITC99_PROFILES[name]
+        assert len(circuit.inputs) == prof.num_inputs
+        assert len(circuit.outputs) == prof.num_outputs
+        assert len(circuit.dffs) == prof.scaled_dffs()
+
+
+def test_itc99_relative_size_order_preserved():
+    sizes = {
+        name: load_itc99(name).num_logic_gates()
+        for name in ("b14", "b15", "b17", "b22")
+    }
+    assert sizes["b17"] > sizes["b22"] > sizes["b14"]
+    assert sizes["b17"] > sizes["b15"]
+
+
+def test_generation_is_deterministic():
+    a = load_iscas85("c880", seed=5)
+    b = load_iscas85("c880", seed=5)
+    assert functions_equal_exhaustive is not None  # import guard
+    assert list(a.gates) == list(b.gates)
+    assert all(a.gates[n] == b.gates[n] for n in a.gates)
+
+
+def test_different_seeds_differ():
+    a = load_iscas85("c880", seed=5)
+    b = load_iscas85("c880", seed=6)
+    assert any(a.gates[n] != b.gates.get(n) for n in a.gates)
+
+
+def test_generated_circuits_validate():
+    for name in ("c432", "c1908"):
+        report = validate(load_iscas85(name))
+        assert report.ok, report.errors[:3]
+    for name in ("b14", "b15"):
+        report = validate(load_itc99(name))
+        assert report.ok, report.errors[:3]
+
+
+def test_scale_parameter():
+    small = load_itc99("b14", scale=0.04)
+    default = load_itc99("b14")
+    assert small.num_logic_gates() < default.num_logic_gates()
+
+
+def test_pockets_can_be_disabled():
+    config = GeneratorConfig(
+        num_inputs=10, num_outputs=4, num_gates=120, pocket_fraction=0.0
+    )
+    circuit = generate_random_circuit(config, seed=1, name="nopocket")
+    assert not any("_p1_" in n for n in circuit.gates)
+
+
+def test_pockets_present_by_default():
+    config = GeneratorConfig(num_inputs=10, num_outputs=4, num_gates=300)
+    circuit = generate_random_circuit(config, seed=1, name="pockets")
+    roots = [n for n in circuit.gates if n.endswith("_root")]
+    assert roots, "expected redundancy pockets in the default profile"
+    assert validate(circuit).ok
+
+
+def test_unknown_benchmarks_rejected():
+    with pytest.raises(KeyError):
+        load_iscas85("c000")
+    with pytest.raises(KeyError):
+        load_itc99("b99")
+
+
+def test_combinational_core_of_each_itc99_is_healthy():
+    core = load_itc99("b15").combinational_core()
+    report = validate(core)
+    assert report.ok
+    assert len(core.inputs) == len(load_itc99("b15").inputs) + len(
+        load_itc99("b15").dffs
+    )

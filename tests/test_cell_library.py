@@ -1,0 +1,118 @@
+"""Cell library model tests."""
+
+import pytest
+
+from repro.netlist.cell_library import (
+    NANGATE45,
+    ROW_HEIGHT_UM,
+    SITE_WIDTH_UM,
+    CellLibrary,
+)
+from repro.netlist.gate_types import GateType
+
+
+def test_lookup_by_name():
+    cell = NANGATE45.by_name("NAND2_X1")
+    assert cell.gate_type is GateType.NAND
+    assert cell.arity == 2
+
+
+def test_cell_for_picks_smallest_adequate():
+    cell = NANGATE45.cell_for(GateType.AND, 3)
+    assert cell.name == "AND3_X1"
+    cell = NANGATE45.cell_for(GateType.NOR, 2)
+    assert cell.name == "NOR2_X1"
+
+
+def test_cell_for_rejects_inputs():
+    with pytest.raises(KeyError):
+        NANGATE45.cell_for(GateType.INPUT, 0)
+
+
+def test_cell_for_raises_beyond_widest():
+    with pytest.raises(ValueError):
+        NANGATE45.cell_for(GateType.AND, 9)
+
+
+def test_mapping_simple_gate_is_single_cell():
+    cells = NANGATE45.mapping_for(GateType.NAND, 2)
+    assert len(cells) == 1 and cells[0].name == "NAND2_X1"
+
+
+def test_mapping_wide_gate_decomposes():
+    cells = NANGATE45.mapping_for(GateType.AND, 9)
+    # 9 inputs: two AND4 + AND(rest) levels; all cells must be ANDs
+    assert len(cells) >= 3
+    assert all(c.gate_type is GateType.AND for c in cells)
+
+
+def test_mapping_wide_nand_ends_inverted():
+    cells = NANGATE45.mapping_for(GateType.NAND, 8)
+    assert cells[-1].gate_type is GateType.NAND
+    assert all(c.gate_type is GateType.AND for c in cells[:-1])
+
+
+def test_mapping_wide_xor_chains():
+    cells = NANGATE45.mapping_for(GateType.XOR, 5)
+    assert len(cells) == 4
+    assert cells[-1].gate_type is GateType.XOR
+
+
+def test_mapping_wide_xnor_polarity_on_last():
+    cells = NANGATE45.mapping_for(GateType.XNOR, 4)
+    assert cells[-1].gate_type is GateType.XNOR
+    assert all(c.gate_type is GateType.XOR for c in cells[:-1])
+
+
+def test_mapping_degenerate_single_input():
+    cells = NANGATE45.mapping_for(GateType.AND, 1)
+    assert cells[0].gate_type is GateType.BUF
+
+
+def test_tie_cells_present_and_tiny():
+    hi = NANGATE45.cell_for(GateType.TIEHI, 0)
+    lo = NANGATE45.cell_for(GateType.TIELO, 0)
+    nand = NANGATE45.cell_for(GateType.NAND, 2)
+    assert hi.area_um2 < nand.area_um2
+    assert lo.drive_res_kohm == 0.0  # not an actual driver (paper hint 3)
+    assert lo.input_cap_ff == 0.0
+
+
+def test_area_monotonic_in_arity():
+    a2 = NANGATE45.gate_area(GateType.AND, 2)
+    a4 = NANGATE45.gate_area(GateType.AND, 4)
+    a9 = NANGATE45.gate_area(GateType.AND, 9)
+    assert a2 < a4 < a9
+
+
+def test_delay_increases_with_load():
+    d_small = NANGATE45.gate_delay(GateType.NAND, 2, load_ff=1.0)
+    d_big = NANGATE45.gate_delay(GateType.NAND, 2, load_ff=20.0)
+    assert d_big > d_small
+
+
+def test_delay_of_decomposed_gate_exceeds_single():
+    single = NANGATE45.gate_delay(GateType.AND, 4, load_ff=2.0)
+    wide = NANGATE45.gate_delay(GateType.AND, 12, load_ff=2.0)
+    assert wide > single
+
+
+def test_input_area_leakage_are_zero():
+    assert NANGATE45.gate_area(GateType.INPUT, 0) == 0.0
+    assert NANGATE45.gate_leakage(GateType.INPUT, 0) == 0.0
+
+
+def test_width_sites_consistent_with_area():
+    for cell in NANGATE45.cells:
+        expected = cell.area_um2 / ROW_HEIGHT_UM / SITE_WIDTH_UM
+        assert abs(cell.width_sites - expected) < 1.0
+
+
+def test_helper_cells():
+    assert NANGATE45.cell_for_buffer().gate_type is GateType.BUF
+    assert NANGATE45.cell_for_dff().gate_type is GateType.DFF
+
+
+def test_custom_library_instance():
+    lib = CellLibrary(NANGATE45.cells)
+    assert lib.widest(GateType.OR).arity == 4

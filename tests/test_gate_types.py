@@ -1,0 +1,142 @@
+"""Unit tests for primitive gate semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist.gate_types import (
+    GateType,
+    controlling_value,
+    evaluate_gate,
+    evaluate_gate_words,
+    fanin_arity_ok,
+    inversion_parity,
+    parse_gate_type,
+)
+
+BINARY_TRUTH = {
+    GateType.AND: lambda a, b: a & b,
+    GateType.NAND: lambda a, b: 1 - (a & b),
+    GateType.OR: lambda a, b: a | b,
+    GateType.NOR: lambda a, b: 1 - (a | b),
+    GateType.XOR: lambda a, b: a ^ b,
+    GateType.XNOR: lambda a, b: 1 - (a ^ b),
+}
+
+
+@pytest.mark.parametrize("gate_type", list(BINARY_TRUTH))
+def test_binary_truth_tables(gate_type):
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert evaluate_gate(gate_type, (a, b)) == BINARY_TRUTH[gate_type](a, b)
+
+
+@pytest.mark.parametrize(
+    "gate_type,expected",
+    [(GateType.NOT, [1, 0]), (GateType.BUF, [0, 1])],
+)
+def test_unary_truth_tables(gate_type, expected):
+    assert [evaluate_gate(gate_type, (v,)) for v in (0, 1)] == expected
+
+
+def test_tie_cells_are_constant():
+    assert evaluate_gate(GateType.TIEHI, ()) == 1
+    assert evaluate_gate(GateType.TIELO, ()) == 0
+
+
+@pytest.mark.parametrize("gate_type", list(BINARY_TRUTH))
+def test_three_input_generalisation(gate_type):
+    for bits in itertools.product((0, 1), repeat=3):
+        got = evaluate_gate(gate_type, bits)
+        step = BINARY_TRUTH[gate_type]
+        if gate_type in (GateType.AND, GateType.OR):
+            want = step(step(bits[0], bits[1]) if gate_type is GateType.AND else bits[0] | bits[1], bits[2])
+            want = (
+                bits[0] & bits[1] & bits[2]
+                if gate_type is GateType.AND
+                else bits[0] | bits[1] | bits[2]
+            )
+        elif gate_type is GateType.NAND:
+            want = 1 - (bits[0] & bits[1] & bits[2])
+        elif gate_type is GateType.NOR:
+            want = 1 - (bits[0] | bits[1] | bits[2])
+        elif gate_type is GateType.XOR:
+            want = bits[0] ^ bits[1] ^ bits[2]
+        else:
+            want = 1 - (bits[0] ^ bits[1] ^ bits[2])
+        assert got == want
+
+
+@given(
+    st.sampled_from(sorted(BINARY_TRUTH, key=lambda g: g.value)),
+    st.lists(st.integers(0, 1), min_size=1, max_size=6),
+)
+def test_words_agree_with_scalar(gate_type, column):
+    """Bit-parallel evaluation lane-for-lane equals scalar evaluation."""
+    lanes = len(column)
+    mask = (1 << lanes) - 1
+    # one word per "input"; build 2 inputs from the column and its reverse
+    w1 = sum(bit << i for i, bit in enumerate(column))
+    w2 = sum(bit << i for i, bit in enumerate(reversed(column)))
+    word = evaluate_gate_words(gate_type, [w1, w2], mask)
+    for lane in range(lanes):
+        a = (w1 >> lane) & 1
+        b = (w2 >> lane) & 1
+        assert (word >> lane) & 1 == evaluate_gate(gate_type, (a, b))
+
+
+def test_controlling_values():
+    assert controlling_value(GateType.AND) == 0
+    assert controlling_value(GateType.NAND) == 0
+    assert controlling_value(GateType.OR) == 1
+    assert controlling_value(GateType.NOR) == 1
+    assert controlling_value(GateType.XOR) is None
+    assert controlling_value(GateType.NOT) is None
+
+
+def test_inversion_parity():
+    inverting = {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+    for gate_type in GateType:
+        if gate_type in (GateType.INPUT, GateType.DFF):
+            continue
+        assert inversion_parity(gate_type) == (1 if gate_type in inverting else 0)
+
+
+def test_arity_checks():
+    assert fanin_arity_ok(GateType.INPUT, 0)
+    assert not fanin_arity_ok(GateType.INPUT, 1)
+    assert fanin_arity_ok(GateType.NOT, 1)
+    assert not fanin_arity_ok(GateType.NOT, 2)
+    assert fanin_arity_ok(GateType.AND, 5)
+    assert fanin_arity_ok(GateType.TIEHI, 0)
+    assert not fanin_arity_ok(GateType.TIELO, 1)
+    assert fanin_arity_ok(GateType.DFF, 1)
+
+
+@pytest.mark.parametrize(
+    "token,expected",
+    [
+        ("NAND", GateType.NAND),
+        ("inv", GateType.NOT),
+        ("Buffer", GateType.BUF),
+        ("vdd", GateType.TIEHI),
+        ("gnd", GateType.TIELO),
+        ("DFF", GateType.DFF),
+        ("xnor", GateType.XNOR),
+    ],
+)
+def test_parse_gate_type(token, expected):
+    assert parse_gate_type(token) is expected
+
+
+def test_parse_gate_type_rejects_unknown():
+    with pytest.raises(ValueError):
+        parse_gate_type("tristate")
+
+
+def test_evaluate_gate_rejects_non_combinational():
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.DFF, (0,))
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.INPUT, ())

@@ -1,0 +1,146 @@
+"""Full-pipeline integration tests: the paper's claims on a small design.
+
+These run the complete flow — generation, locking with LEC, physical
+design, splitting, attacks, metrics — and assert the paper's *findings*
+rather than individual module behaviour.  They are the repository's
+regression net for the headline results.
+"""
+
+import pytest
+
+from repro.attacks import (
+    ideal_attack,
+    proximity_attack,
+    random_guess_attack,
+    reconnect_key_gates_to_ties,
+)
+from repro.benchgen import GeneratorConfig, generate_random_circuit
+from repro.locking import AtpgLockConfig, atpg_lock
+from repro.metrics import compute_ccr, compute_hd_oer
+from repro.phys import build_locked_layout
+from repro.sat.lec import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One mid-size sequential design through the whole flow."""
+    circuit = generate_random_circuit(
+        GeneratorConfig(num_inputs=14, num_outputs=10, num_gates=300, num_dffs=8),
+        seed=77,
+        name="e2e",
+    )
+    core = circuit.combinational_core()
+    locked, report = atpg_lock(
+        core, AtpgLockConfig(key_bits=24, seed=11, run_lec=True)
+    )
+    layouts = {
+        split: build_locked_layout(locked, split_layer=split, seed=3)
+        for split in (4, 6)
+    }
+    return core, locked, report, layouts
+
+
+def test_lock_is_lec_verified(pipeline):
+    _, _, report, _ = pipeline
+    assert report.lec_equivalent is True
+
+
+def test_correct_key_unlocks(pipeline):
+    core, locked, _, _ = pipeline
+    lec = check_equivalence(core, locked.with_key(list(locked.key)))
+    assert lec.equivalent is True
+
+
+def test_wrong_keys_stay_locked(pipeline):
+    """Most single-bit flips, and certainly the full flip, must break
+    the function.
+
+    A single comparator bit can occasionally be masked when the cubes it
+    separates lie in *unreachable* cut-space (correlated internal nets) —
+    this is exactly the epsilon slack Theorem 1 allows in
+    ``P_kb <= 1/2 + eps``; it cannot be exploited without an oracle.
+    """
+    core, locked, _, _ = pipeline
+    broken = 0
+    sampled = min(6, locked.key_length)
+    for flip in range(sampled):
+        guess = list(locked.key)
+        guess[flip] ^= 1
+        lec = check_equivalence(core, locked.with_key(guess))
+        if lec.equivalent is False:
+            broken += 1
+    assert broken >= sampled // 2, f"only {broken}/{sampled} flips matter"
+    all_wrong = [1 - b for b in locked.key]
+    assert check_equivalence(core, locked.with_key(all_wrong)).equivalent is False
+
+
+def test_attack_cannot_recover_key_at_either_split(pipeline):
+    core, locked, _, layouts = pipeline
+    for split, layout in layouts.items():
+        view = layout.feol_view()
+        result = reconnect_key_gates_to_ties(proximity_attack(view))
+        ccr = compute_ccr(result)
+        assert 25.0 <= ccr.key_logical_ccr <= 75.0, (split, ccr)
+        assert ccr.key_physical_ccr <= 25.0, (split, ccr)
+
+
+def test_recovered_netlists_are_erroneous(pipeline):
+    core, _, _, layouts = pipeline
+    for split, layout in layouts.items():
+        view = layout.feol_view()
+        result = reconnect_key_gates_to_ties(proximity_attack(view))
+        report = compute_hd_oer(core, result.recovered, patterns=4096)
+        assert report.oer_percent > 95.0, split
+        assert report.hd_percent > 5.0, split
+
+
+def test_attack_hierarchy(pipeline):
+    """ideal >= proximity >= random on regular nets (sanity ordering)."""
+    core, _, _, layouts = pipeline
+    view = layouts[4].feol_view()
+    prox = compute_ccr(proximity_attack(view)).regular_ccr
+    ideal = compute_ccr(ideal_attack(view, seed=1)).regular_ccr
+    rand = compute_ccr(random_guess_attack(view, seed=1)).regular_ccr
+    assert ideal >= prox >= rand
+
+
+def test_key_uniformity(pipeline):
+    """The key must mix polarities (the paper's K <-$- {0,1}^k)."""
+    _, locked, _, _ = pipeline
+    ones = sum(locked.key)
+    assert 0 < ones < locked.key_length
+
+
+def test_tie_cells_scattered(pipeline):
+    """Randomized TIE placement: TIEs must not hug their key-gates."""
+    import math
+
+    _, locked, _, layouts = pipeline
+    layout = layouts[4]
+    distances = []
+    for bit in locked.key_bits:
+        tx, ty = layout.placement.pin_location(bit.tie_cell)
+        gx, gy = layout.placement.pin_location(bit.key_gate)
+        distances.append(math.hypot(tx - gx, ty - gy))
+    die = math.hypot(layout.floorplan.width_um, layout.floorplan.height_um)
+    # average TIE-to-key-gate distance is a sizeable fraction of the die
+    assert sum(distances) / len(distances) > 0.15 * die
+
+
+def test_prelift_keeps_ties_near_key_gates(pipeline):
+    """The naive flow does the opposite: attraction pulls TIEs close."""
+    import math
+
+    _, locked, _, layouts = pipeline
+    secure = layouts[4]
+    prelift = build_locked_layout(locked, seed=3, prelift=True)
+
+    def mean_distance(layout):
+        values = []
+        for bit in locked.key_bits:
+            tx, ty = layout.placement.pin_location(bit.tie_cell)
+            gx, gy = layout.placement.pin_location(bit.key_gate)
+            values.append(math.hypot(tx - gx, ty - gy))
+        return sum(values) / len(values)
+
+    assert mean_distance(prelift) < mean_distance(secure)

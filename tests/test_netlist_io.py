@@ -1,0 +1,138 @@
+"""Bench and Verilog I/O tests: round-trips and error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import bench_io, verilog_io
+from repro.netlist.bench_io import BenchParseError
+from repro.netlist.circuit import NetlistError
+from repro.netlist.gate_types import GateType
+from repro.sim.bitparallel import functions_equal_exhaustive
+from tests.conftest import build_random_circuit
+
+
+def test_bench_parse_c17_text():
+    from repro.benchgen import C17_BENCH
+
+    circuit = bench_io.loads(C17_BENCH)
+    assert circuit.num_logic_gates() == 6
+    assert set(circuit.inputs) == {"N1", "N2", "N3", "N6", "N7"}
+    assert circuit.outputs == ["N22", "N23"]
+
+
+def test_bench_roundtrip(c17_circuit):
+    text = bench_io.dumps(c17_circuit)
+    again = bench_io.loads(text, name="c17")
+    assert functions_equal_exhaustive(c17_circuit, again)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 200))
+def test_bench_roundtrip_random(seed):
+    circuit = build_random_circuit(seed, num_inputs=5, num_gates=25)
+    again = bench_io.loads(bench_io.dumps(circuit), name=circuit.name)
+    assert functions_equal_exhaustive(circuit, again)
+
+
+def test_bench_file_io(tmp_path, c17_circuit):
+    path = tmp_path / "c17.bench"
+    bench_io.dump(c17_circuit, path)
+    again = bench_io.load(path)
+    assert again.name == "c17"
+    assert functions_equal_exhaustive(c17_circuit, again)
+
+
+def test_bench_comments_and_blank_lines():
+    text = """
+# a comment
+INPUT(a)   # trailing comment
+OUTPUT(z)
+
+z = NOT(a)
+"""
+    circuit = bench_io.loads(text)
+    assert circuit.gates["z"].gate_type is GateType.NOT
+
+
+def test_bench_tie_extension():
+    text = "OUTPUT(z)\nk = TIEHI()\nz = BUF(k)\n"
+    circuit = bench_io.loads(text)
+    assert circuit.gates["k"].gate_type is GateType.TIEHI
+
+
+def test_bench_rejects_garbage():
+    with pytest.raises(BenchParseError):
+        bench_io.loads("INPUT(a)\nz <= NOT(a)\n")
+
+
+def test_bench_rejects_unknown_op():
+    with pytest.raises(BenchParseError):
+        bench_io.loads("INPUT(a)\nz = FROB(a)\n")
+
+
+def test_bench_rejects_undriven_output():
+    with pytest.raises(NetlistError):
+        bench_io.loads("INPUT(a)\nOUTPUT(zz)\nz = NOT(a)\n")
+
+
+def test_verilog_roundtrip(c17_circuit):
+    text = verilog_io.dumps(c17_circuit)
+    again = verilog_io.loads(text)
+    assert sorted(again.inputs) == sorted(c17_circuit.inputs)
+    assert functions_equal_exhaustive(c17_circuit, again)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 200))
+def test_verilog_roundtrip_random(seed):
+    circuit = build_random_circuit(seed, num_inputs=5, num_gates=25)
+    again = verilog_io.loads(verilog_io.dumps(circuit))
+    assert functions_equal_exhaustive(circuit, again)
+
+
+def test_verilog_parses_comments_and_instances():
+    text = """
+// line comment
+module top (a, b, z);
+  input a, b;  /* block
+                 comment */
+  output z;
+  wire t;
+  nand U1 (t, a, b);
+  not  U2 (z, t);
+endmodule
+"""
+    circuit = verilog_io.loads(text)
+    assert circuit.gates["z"].gate_type is GateType.NOT
+    assert circuit.gates["t"].fanin == ("a", "b")
+
+
+def test_verilog_anonymous_instances():
+    text = "module m (a, z); input a; output z; not (z, a); endmodule"
+    circuit = verilog_io.loads(text)
+    assert circuit.gates["z"].gate_type is GateType.NOT
+
+
+def test_verilog_rejects_no_module():
+    with pytest.raises(verilog_io.VerilogParseError):
+        verilog_io.loads("not (z, a);")
+
+
+def test_verilog_rejects_missing_endmodule():
+    with pytest.raises(verilog_io.VerilogParseError):
+        verilog_io.loads("module m (a); input a;")
+
+
+def test_verilog_file_io(tmp_path, c17_circuit):
+    path = tmp_path / "c17.v"
+    verilog_io.dump(c17_circuit, path)
+    again = verilog_io.load(path)
+    assert functions_equal_exhaustive(c17_circuit, again)
+
+
+def test_verilog_sanitizes_module_name():
+    circuit = build_random_circuit(1, num_inputs=3, num_gates=10)
+    circuit.name = "9bad name!"
+    text = verilog_io.dumps(circuit)
+    assert "module m_9bad_name_" in text

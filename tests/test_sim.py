@@ -1,0 +1,176 @@
+"""Simulation engine tests: bit-parallel vs event-driven differential,
+exhaustive enumeration, sequential stepping, activity estimation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate_types import GateType
+from repro.sim.bitparallel import (
+    count_differing_lanes,
+    exhaustive_words,
+    functions_equal_exhaustive,
+    mask_for,
+    output_words,
+    pack_patterns,
+    random_words,
+    signal_probabilities,
+    simulate_patterns,
+    simulate_words,
+    toggle_activity,
+    unpack_word,
+)
+from repro.sim.event_sim import evaluate_outputs, simulate_event_driven
+from repro.sim.patterns import (
+    exhaustive_patterns,
+    int_to_pattern,
+    pattern_to_int,
+    random_patterns,
+    walking_ones,
+)
+from repro.sim.sequential import SequentialSimulator
+from tests.conftest import build_random_circuit, tiny_mux_circuit
+
+
+def test_c17_known_vectors(c17_circuit):
+    rows = simulate_patterns(
+        c17_circuit, [[0, 0, 0, 0, 0], [1, 1, 1, 1, 1], [1, 0, 1, 0, 1]]
+    )
+    assert rows == [[0, 0], [1, 0], [1, 1]]
+
+
+def test_mux_behaviour():
+    mux = tiny_mux_circuit()
+    # order of inputs is a, b, s
+    rows = simulate_patterns(
+        mux, [[1, 0, 1], [1, 0, 0], [0, 1, 0], [0, 1, 1]]
+    )
+    assert [r[0] for r in rows] == [1, 0, 1, 0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2000), st.integers(0, 2**16 - 1))
+def test_engines_agree(seed, stimulus):
+    """Property: bit-parallel and event-driven engines always agree."""
+    circuit = build_random_circuit(seed % 50, num_inputs=6, num_gates=30)
+    assignment = {
+        net: (stimulus >> i) & 1 for i, net in enumerate(circuit.inputs)
+    }
+    event = evaluate_outputs(circuit, assignment)
+    words = {net: value for net, value in assignment.items()}
+    parallel = output_words(circuit, words, 1)
+    for net in circuit.outputs:
+        assert parallel[net] & 1 == event[net]
+
+
+def test_overrides_inject_faults(c17_circuit):
+    words, lanes = exhaustive_words(c17_circuit.inputs)
+    good = output_words(c17_circuit, words, lanes)
+    stuck = output_words(
+        c17_circuit, words, lanes, overrides={"N10": 0}
+    )
+    assert any(good[o] != stuck[o] for o in c17_circuit.outputs)
+
+
+def test_exhaustive_words_enumerate_all():
+    words, lanes = exhaustive_words(["a", "b", "c"])
+    assert lanes == 8
+    seen = set()
+    for lane in range(8):
+        bits = tuple((words[n] >> lane) & 1 for n in ["a", "b", "c"])
+        seen.add(bits)
+    assert len(seen) == 8
+
+
+def test_pack_unpack_roundtrip():
+    patterns = [[0, 1], [1, 1], [1, 0]]
+    words = pack_patterns(patterns, ["x", "y"])
+    assert unpack_word(words["x"], 3) == [0, 1, 1]
+    assert unpack_word(words["y"], 3) == [1, 1, 0]
+
+
+def test_pack_rejects_width_mismatch():
+    with pytest.raises(ValueError):
+        pack_patterns([[0, 1, 1]], ["x", "y"])
+
+
+def test_mask_and_popcount_helpers():
+    assert mask_for(5) == 0b11111
+    assert count_differing_lanes(0b1010, 0b0110) == 2
+
+
+def test_random_words_deterministic():
+    rng1, rng2 = random.Random(9), random.Random(9)
+    assert random_words(["a"], 64, rng1) == random_words(["a"], 64, rng2)
+
+
+def test_functions_equal_exhaustive(c17_circuit):
+    assert functions_equal_exhaustive(c17_circuit, c17_circuit.copy())
+    mutated = c17_circuit.copy("mut")
+    mutated.replace_gate(mutated.gates["N16"].with_type(GateType.AND))
+    assert not functions_equal_exhaustive(c17_circuit, mutated)
+
+
+def test_signal_probabilities_bounds(small_random_circuit):
+    probs = signal_probabilities(small_random_circuit, 256, seed=1)
+    assert all(0.0 <= p <= 1.0 for p in probs.values())
+    # TIE-free circuit: inputs should be near 0.5
+    for net in small_random_circuit.inputs:
+        assert 0.3 < probs[net] < 0.7
+
+
+def test_toggle_activity_range(small_random_circuit):
+    activity = toggle_activity(small_random_circuit, 256, seed=2)
+    assert all(0.0 <= a <= 0.5 for a in activity.values())
+
+
+def test_sequential_simulator_latches():
+    # q toggles every cycle: d = NOT q
+    circuit = Circuit("tff")
+    circuit.add_input("en")
+    circuit.add("q", GateType.DFF, ("d",))
+    circuit.add("d", GateType.NOT, ("q",))
+    circuit.add("z", GateType.AND, ("q", "en"))
+    circuit.add_output("z")
+    sim = SequentialSimulator(circuit, num_patterns=1)
+    outs = [sim.step({"en": 1})[ "z"] & 1 for _ in range(4)]
+    assert outs == [0, 1, 0, 1]
+
+
+def test_sequential_reset_value():
+    circuit = Circuit("hold")
+    circuit.add_input("x")
+    circuit.add("q", GateType.DFF, ("q2",))
+    circuit.add("q2", GateType.BUF, ("q",))
+    circuit.add_output("q2")
+    sim = SequentialSimulator(circuit, num_patterns=1, reset_value=1)
+    assert sim.step({"x": 0})["q2"] & 1 == 1
+
+
+def test_pattern_helpers():
+    assert pattern_to_int((1, 0, 1)) == 0b101
+    assert int_to_pattern(0b101, 3) == (1, 0, 1)
+    assert len(list(exhaustive_patterns(3))) == 8
+    ones = walking_ones(4)
+    assert len(ones) == 5 and sum(ones[2]) == 1
+    rng = random.Random(0)
+    pats = random_patterns(5, 7, rng)
+    assert len(pats) == 7 and all(len(p) == 5 for p in pats)
+
+
+def test_event_sim_rejects_sequential(sequential_circuit):
+    with pytest.raises(ValueError):
+        simulate_event_driven(sequential_circuit, {})
+
+
+def test_simulate_words_rejects_sequential(sequential_circuit):
+    with pytest.raises(ValueError):
+        simulate_words(sequential_circuit, {}, 1)
+
+
+def test_missing_stimulus_raises(c17_circuit):
+    with pytest.raises(KeyError):
+        output_words(c17_circuit, {"N1": 0}, 1)
