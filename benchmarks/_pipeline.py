@@ -1,63 +1,80 @@
-"""Shared, cached experiment pipeline for the benchmark harnesses.
+"""Shared experiment pipeline for the benchmark harnesses.
 
-Every harness regenerates one table or figure of the paper.  The heavy
-artefacts (locked netlists, layouts, attack runs) are computed once per
-process and shared across harnesses — Table I and Table II report
-different metrics of the *same* attack runs, exactly as in the paper.
+A thin consumer of the campaign runner (:mod:`repro.runner`): every
+heavy artefact — locked netlists, split layouts, attack runs — comes
+from the runner's pure stages through the content-keyed **on-disk**
+artifact cache, so the grid is computed once and shared across
+harnesses, processes and reruns.  Table I and Table II report different
+metrics of the *same* attack runs, exactly as in the paper; regenerate
+the grid in parallel with ``python -m repro.runner table1``.
 
-Environment knobs:
+Environment knobs (parsed in :mod:`repro.utils.env`):
 
-* ``REPRO_FULL=1``   — full-fidelity run: 1M simulation patterns for
-  HD/OER and the ideal-attack campaign (the paper's budget), unbounded
-  candidate exploration.  Hours of runtime; default is a scaled profile
-  that preserves every reported trend in minutes.
-* ``REPRO_SCALE``    — overrides the ITC'99 benchmark scale factor.
+* ``REPRO_FULL=1``    — full-fidelity run: 1M simulation patterns for
+  HD/OER and the ideal-attack campaign (the paper's budget).  Hours of
+  runtime; default is a scaled profile that preserves every reported
+  trend in minutes.
+* ``REPRO_SCALE``     — overrides the benchmark scale factor (must be
+  > 0; empty/unset means each profile's default).
+* ``REPRO_CACHE_DIR`` — artifact-cache directory override.
+* ``REPRO_NO_CACHE=1``— disable the on-disk cache (compute in-process).
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
-from repro.attacks.postprocess import reconnect_key_gates_to_ties
-from repro.attacks.proximity import proximity_attack
-from repro.benchgen import TABLE_I_BENCHMARKS, load_itc99
-from repro.locking.atpg_lock import AtpgLockConfig, atpg_lock
-from repro.metrics.ccr import CcrReport, compute_ccr
-from repro.metrics.hd_oer import HdOerReport, compute_hd_oer
-from repro.phys.layout import build_locked_layout, build_unprotected_layout
+from repro.benchgen import TABLE_I_BENCHMARKS
+from repro.locking.atpg_lock import AtpgLockConfig
+from repro.runner import (
+    BenchRun,
+    CellSpec,
+    cell_layout,
+    cell_run,
+    current_profile,
+    locked_design,
+    unprotected_layout,
+)
+from repro.utils.artifact_cache import ArtifactCache
+from repro.utils.env import env_flag
 
-FULL = os.environ.get("REPRO_FULL", "") == "1"
-SCALE = float(os.environ.get("REPRO_SCALE", "0") or 0) or None
+_PROFILE = current_profile()
+
+FULL = _PROFILE.full
+SCALE = _PROFILE.scale
 
 #: Simulation budget for HD/OER (paper: 1,000,000 runs).
-HD_PATTERNS = 1_000_000 if FULL else 16_384
+HD_PATTERNS = _PROFILE.hd_patterns
 
 #: Random-guess runs for the ideal-attack experiment (paper: 1,000,000).
-IDEAL_RUNS = 1_000_000 if FULL else 2_000
+IDEAL_RUNS = _PROFILE.ideal_runs
 
 #: Key bits (the paper's setting).
-KEY_BITS = 128
+KEY_BITS = _PROFILE.key_bits
 
-SEED = 2019
+SEED = _PROFILE.seed
 
-
-@dataclass
-class BenchRun:
-    """Everything measured for one (benchmark, split-layer) cell."""
-
-    benchmark: str
-    split_layer: int
-    ccr: CcrReport
-    ccr_raw: CcrReport  # without the key-gate post-processing (footnote 6)
-    hd_oer: HdOerReport
-    broken_nets: int
-    visible_nets: int
+__all__ = [
+    "FULL",
+    "SCALE",
+    "HD_PATTERNS",
+    "IDEAL_RUNS",
+    "KEY_BITS",
+    "SEED",
+    "BenchRun",
+    "BenchArtifacts",
+    "cell_spec",
+    "disk_cache",
+    "lock_config",
+    "get_artifacts",
+    "get_unprotected_layout",
+    "table_benchmarks",
+]
 
 
 @dataclass
 class BenchArtifacts:
-    """Cached heavyweight artefacts for one ITC'99 benchmark."""
+    """In-process view of one benchmark's cached artefacts."""
 
     name: str
     core: object
@@ -67,43 +84,47 @@ class BenchArtifacts:
     runs: dict[int, BenchRun] = field(default_factory=dict)
 
 
+#: Per-process memo on top of the on-disk artifact cache.
 _CACHE: dict[str, BenchArtifacts] = {}
+
+_DISK = None if env_flag("REPRO_NO_CACHE") else ArtifactCache()
+
+
+def disk_cache() -> ArtifactCache | None:
+    """The shared on-disk artifact cache (``None`` under REPRO_NO_CACHE)."""
+    return _DISK
+
+
+def cell_spec(
+    name: str, split_layer: int = 4, key_bits: int = KEY_BITS
+) -> CellSpec:
+    """The runner cell for one (benchmark, split) under the env profile."""
+    return CellSpec(
+        benchmark=name,
+        split_layer=split_layer,
+        key_bits=key_bits,
+        seed=SEED,
+        scale=SCALE,
+        hd_patterns=HD_PATTERNS,
+        max_candidates=_PROFILE.max_candidates,
+    )
 
 
 def lock_config(key_bits: int = KEY_BITS) -> AtpgLockConfig:
-    return AtpgLockConfig(
-        key_bits=key_bits,
-        seed=SEED,
-        run_lec=False,  # LEC of every flow is covered by the test suite
-        max_candidates=500 if FULL else 250,
-    )
+    return cell_spec("b14", key_bits=key_bits).lock_config()
 
 
 def get_artifacts(name: str) -> BenchArtifacts:
     """Locked design + split layouts + attack runs for one benchmark."""
     if name in _CACHE:
         return _CACHE[name]
-    circuit = load_itc99(name, seed=SEED, scale=SCALE)
-    core = circuit.combinational_core()
-    locked, report = atpg_lock(core, lock_config())
-    artifacts = BenchArtifacts(name, core, locked, report)
+    design = locked_design(cell_spec(name), _DISK)
+    artifacts = BenchArtifacts(name, design.core, design.locked, design.report)
     for split in (4, 6):
-        layout = build_locked_layout(locked, split_layer=split, seed=SEED)
+        cell = cell_spec(name, split_layer=split)
+        layout = cell_layout(cell, _DISK, design=design)
         artifacts.layouts[split] = layout
-        view = layout.feol_view()
-        raw = proximity_attack(view)
-        improved = reconnect_key_gates_to_ties(raw)
-        artifacts.runs[split] = BenchRun(
-            benchmark=name,
-            split_layer=split,
-            ccr=compute_ccr(improved),
-            ccr_raw=compute_ccr(raw),
-            hd_oer=compute_hd_oer(
-                core, improved.recovered, patterns=HD_PATTERNS
-            ),
-            broken_nets=view.broken_net_count,
-            visible_nets=len(view.visible_nets),
-        )
+        artifacts.runs[split] = cell_run(cell, _DISK, design=design, layout=layout)
     _CACHE[name] = artifacts
     return artifacts
 
@@ -115,5 +136,4 @@ def table_benchmarks() -> tuple[str, ...]:
 
 def get_unprotected_layout(name: str):
     """Reference layout of the original core (for Fig. 5)."""
-    artifacts = get_artifacts(name)
-    return build_unprotected_layout(artifacts.core, seed=SEED)
+    return unprotected_layout(cell_spec(name), _DISK)

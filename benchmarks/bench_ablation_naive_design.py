@@ -25,7 +25,6 @@ from _pipeline import SEED, get_artifacts  # noqa: E402
 
 from repro.attacks.postprocess import reconnect_key_gates_to_ties
 from repro.attacks.proximity import proximity_attack
-from repro.metrics.ccr import compute_ccr
 from repro.phys.layout import build_locked_layout
 
 

@@ -18,16 +18,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 from _pipeline import get_artifacts, table_benchmarks  # noqa: E402
 
-#: Table I as published: benchmark -> (M4 row, M6 row) with rows
-#: (key logical, key physical, regular).  "None" = attack timed out (b17/M4).
-PAPER_TABLE1 = {
-    "b14": ((52, 1, 17), (54, 2, 47)),
-    "b15": ((49, 0, 15), (49, 0, 25)),
-    "b17": ((None, None, None), (51, 1, 21)),
-    "b20": ((54, 0, 17), (60, 0, 36)),
-    "b21": ((50, 0, 14), (54, 0, 36)),
-    "b22": ((52, 0, 14), (55, 0, 25)),
-}
+from repro.runner.paper_data import PAPER_TABLE1
 
 
 def _collect():

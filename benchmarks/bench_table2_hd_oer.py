@@ -16,15 +16,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 from _pipeline import HD_PATTERNS, get_artifacts, table_benchmarks  # noqa: E402
 
-#: Table II as published: benchmark -> ((HD, OER) at M4, (HD, OER) at M6).
-PAPER_TABLE2 = {
-    "b14": ((46, 100), (25, 100)),
-    "b15": ((52, 100), (20, 100)),
-    "b17": ((None, None), (31, 100)),
-    "b20": ((57, 100), (19, 100)),
-    "b21": ((56, 100), (26, 100)),
-    "b22": ((57, 100), (27, 100)),
-}
+from repro.runner.paper_data import PAPER_TABLE2
 
 
 @pytest.fixture(scope="module")

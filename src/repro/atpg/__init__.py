@@ -29,6 +29,7 @@ __all__ = [
     "cover_care_bits",
     "cover_minterms",
     "enumerate_failing_patterns",
+    "exact_cover",
     "excitation_word",
     "failing_output_words",
     "fault_coverage",

@@ -21,7 +21,6 @@ import random
 from dataclasses import dataclass
 
 from repro.attacks.hints import (
-    HintContext,
     build_context,
     creates_loop,
     load_allows,

@@ -17,11 +17,9 @@ under each of them, i.e. the FEOL alone constrains nothing.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.locking.key import LockedCircuit
-from repro.sat.cnf import Cnf
 from repro.sat.solver import solve_cnf
 from repro.sat.tseitin import encode_circuit
 from repro.utils.rng import rng_for

@@ -11,6 +11,11 @@
 
 ``evaluate_split`` then mounts the improved proximity attack of
 Sec. IV-A on a chosen split and reports the Table I/II metrics.
+
+The attack-and-measure step itself is the module-level
+:func:`evaluate_split_layout` — a pure function of its arguments with no
+flow state, safe to ship to ``ProcessPoolExecutor`` workers.  The
+campaign runner (:mod:`repro.runner`) parallelises over it.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from repro.core.config import SplitLockConfig
 from repro.locking.atpg_lock import AtpgLockReport, atpg_lock
 from repro.locking.key import LockedCircuit
 from repro.metrics.ccr import CcrReport, compute_ccr
-from repro.metrics.hd_oer import HdOerReport, compute_hd_oer
+from repro.metrics.hd_oer import DEFAULT_HD_PATTERNS, HdOerReport, compute_hd_oer
 from repro.netlist.circuit import Circuit
 from repro.phys.cost import LayoutCost, measure_layout_cost
 from repro.phys.layout import (
@@ -77,6 +82,43 @@ class FlowResult:
         return costs
 
 
+def evaluate_split_layout(
+    original: Circuit,
+    layout: PhysicalLayout,
+    split_layer: int | None = None,
+    attack_config: ProximityAttackConfig | None = None,
+    hd_patterns: int | None = None,
+    hd_seed: int = 5,
+    postprocess_seed: int = 13,
+) -> SplitEvaluation:
+    """Attack one split layout and compute the paper's metrics.
+
+    Pure function of its arguments (every stochastic step takes an
+    explicit seed), so parallel and serial execution produce bit-identical
+    reports; all inputs and the result pickle cleanly across process
+    boundaries.  *hd_patterns* defaults to the budget shared with
+    :func:`repro.metrics.hd_oer.compute_hd_oer`.
+    """
+    layer = split_layer if split_layer is not None else layout.split_layer
+    if layer is None:
+        raise ValueError("no split layer configured for this layout")
+    patterns = hd_patterns if hd_patterns is not None else DEFAULT_HD_PATTERNS
+    view = layout.feol_view(layer)
+    raw = proximity_attack(view, attack_config)
+    improved = reconnect_key_gates_to_ties(raw, seed=postprocess_seed)
+    hd_oer = compute_hd_oer(
+        original, improved.recovered, patterns=patterns, seed=hd_seed
+    )
+    return SplitEvaluation(
+        split_layer=layer,
+        ccr=compute_ccr(improved),
+        ccr_without_postprocess=compute_ccr(raw),
+        hd_oer=hd_oer,
+        broken_nets=view.broken_net_count,
+        visible_nets=len(view.visible_nets),
+    )
+
+
 class SplitLockFlow:
     """Drives the full lock-the-FEOL / unlock-at-the-BEOL flow."""
 
@@ -112,24 +154,15 @@ class SplitLockFlow:
         result: FlowResult,
         split_layer: int,
         attack_config: ProximityAttackConfig | None = None,
-        hd_patterns: int = 20_000,
+        hd_patterns: int | None = None,
         postprocess_seed: int = 13,
     ) -> SplitEvaluation:
         """Attack one split layout and compute the paper's metrics."""
-        layout = result.split_layouts[split_layer]
-        view = layout.feol_view()
-        raw = proximity_attack(view, attack_config)
-        improved = reconnect_key_gates_to_ties(raw, seed=postprocess_seed)
-        ccr = compute_ccr(improved)
-        ccr_raw = compute_ccr(raw)
-        hd_oer = compute_hd_oer(
-            result.original, improved.recovered, patterns=hd_patterns
-        )
-        return SplitEvaluation(
+        return evaluate_split_layout(
+            result.original,
+            result.split_layouts[split_layer],
             split_layer=split_layer,
-            ccr=ccr,
-            ccr_without_postprocess=ccr_raw,
-            hd_oer=hd_oer,
-            broken_nets=view.broken_net_count,
-            visible_nets=len(view.visible_nets),
+            attack_config=attack_config,
+            hd_patterns=hd_patterns,
+            postprocess_seed=postprocess_seed,
         )

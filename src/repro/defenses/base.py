@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.attacks.proximity import ProximityAttackConfig, proximity_attack
 from repro.attacks.result import AttackResult
-from repro.metrics.hd_oer import compute_hd_oer
+from repro.metrics.hd_oer import DEFAULT_HD_PATTERNS, compute_hd_oer
 from repro.metrics.pnr import compute_pnr
 from repro.netlist.circuit import Circuit
 from repro.phys.layout import PhysicalLayout, build_unprotected_layout
@@ -46,7 +46,7 @@ def evaluate_defense(
     original: Circuit,
     view: FeolView,
     protected_nets: set[str],
-    hd_patterns: int = 20_000,
+    hd_patterns: int = DEFAULT_HD_PATTERNS,
     attack_config: ProximityAttackConfig | None = None,
 ) -> DefenseOutcome:
     """Attack a protected view and compute the Table III metrics.

@@ -12,6 +12,7 @@ Table III, CCR stays ~0 and the recovered netlist's HD stays high.
 from __future__ import annotations
 
 from repro.defenses.base import DefenseOutcome, base_layout, evaluate_defense
+from repro.metrics.hd_oer import DEFAULT_HD_PATTERNS
 from repro.defenses.wire_lifting import (
     LIFT_FRACTION,
     scatter_stubs,
@@ -65,7 +66,7 @@ def evaluate_beol_restore(
     circuit: Circuit,
     split_layer: int = 4,
     seed: int = 2019,
-    hd_patterns: int = 20_000,
+    hd_patterns: int = DEFAULT_HD_PATTERNS,
 ) -> DefenseOutcome:
     """Full [13]-style evaluation on *circuit*."""
     view, protected = apply_beol_restore(circuit, split_layer, seed)

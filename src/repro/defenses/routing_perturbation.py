@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 
 from repro.defenses.base import DefenseOutcome, base_layout, evaluate_defense
+from repro.metrics.hd_oer import DEFAULT_HD_PATTERNS
 from repro.netlist.circuit import Circuit
 from repro.phys.split import split_layout
 from repro.utils.rng import rng_for
@@ -104,7 +105,7 @@ def evaluate_routing_perturbation(
     circuit: Circuit,
     split_layer: int = 4,
     seed: int = 2019,
-    hd_patterns: int = 20_000,
+    hd_patterns: int = DEFAULT_HD_PATTERNS,
 ) -> DefenseOutcome:
     """Full [22]-style evaluation on *circuit*."""
     view, protected = apply_routing_perturbation(circuit, split_layer, seed)

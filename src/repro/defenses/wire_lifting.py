@@ -13,6 +13,7 @@ which protects with far fewer lifted nets).
 from __future__ import annotations
 
 from repro.defenses.base import DefenseOutcome, base_layout, evaluate_defense
+from repro.metrics.hd_oer import DEFAULT_HD_PATTERNS
 from repro.netlist.circuit import Circuit
 from repro.phys.split import split_layout
 from repro.utils.rng import rng_for
@@ -120,7 +121,7 @@ def evaluate_wire_lifting(
     circuit: Circuit,
     split_layer: int = 4,
     seed: int = 2019,
-    hd_patterns: int = 20_000,
+    hd_patterns: int = DEFAULT_HD_PATTERNS,
 ) -> DefenseOutcome:
     """Full [12]-style evaluation on *circuit*."""
     view, protected = apply_wire_lifting(circuit, split_layer, seed)

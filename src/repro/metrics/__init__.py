@@ -1,10 +1,11 @@
 """Evaluation metrics: CCR, HD, OER, PNR."""
 
 from repro.metrics.ccr import CcrReport, compute_ccr
-from repro.metrics.hd_oer import HdOerReport, compute_hd_oer
+from repro.metrics.hd_oer import DEFAULT_HD_PATTERNS, HdOerReport, compute_hd_oer
 from repro.metrics.pnr import PnrReport, compute_pnr
 
 __all__ = [
+    "DEFAULT_HD_PATTERNS",
     "CcrReport",
     "HdOerReport",
     "PnrReport",

@@ -18,6 +18,11 @@ from dataclasses import dataclass
 from repro.netlist.circuit import Circuit
 from repro.sim.bitparallel import iter_pattern_chunks, output_words
 
+#: Default Monte-Carlo budget shared by every HD/OER consumer (the flow's
+#: ``evaluate_split``, the defense evaluators, the campaign runner).  The
+#: paper uses 1M runs; harnesses pass their own scaled budget explicitly.
+DEFAULT_HD_PATTERNS = 20_000
+
 
 @dataclass
 class HdOerReport:
@@ -31,7 +36,7 @@ class HdOerReport:
 def compute_hd_oer(
     original: Circuit,
     recovered: Circuit,
-    patterns: int = 20_000,
+    patterns: int = DEFAULT_HD_PATTERNS,
     seed: int = 5,
     chunk: int = 4096,
 ) -> HdOerReport:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.netlist.circuit import Circuit, Gate, NetlistError
+from repro.netlist.circuit import Circuit, NetlistError
 from repro.netlist.gate_types import GateType
 
 

@@ -1,0 +1,60 @@
+"""Campaign runner: declarative experiment grids, parallel and cached.
+
+The subsystem behind every table/figure harness and the
+``python -m repro.runner`` CLI:
+
+* :mod:`repro.runner.spec`     — declarative campaign/cell specs;
+* :mod:`repro.runner.stages`   — pure, cacheable pipeline stages;
+* :mod:`repro.runner.engine`   — ``ProcessPoolExecutor`` execution;
+* :mod:`repro.runner.profiles` — the paper's budgets vs the scaled default;
+* :mod:`repro.runner.cli`      — table/figure regeneration and sweeps.
+"""
+
+from repro.runner.engine import (
+    CampaignResult,
+    CellResult,
+    default_workers,
+    execute_cell,
+    run_campaign,
+    run_cost_campaign,
+)
+from repro.runner.profiles import (
+    ExperimentProfile,
+    current_profile,
+    prorated_key_bits,
+    smoke_campaign,
+)
+from repro.runner.spec import CampaignSpec, CellSpec, expand, parse_benchmark
+from repro.runner.stages import (
+    BenchRun,
+    LockedDesign,
+    cell_layout,
+    cell_run,
+    layout_cost_runs,
+    locked_design,
+    unprotected_layout,
+)
+
+__all__ = [
+    "BenchRun",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
+    "CellSpec",
+    "ExperimentProfile",
+    "LockedDesign",
+    "cell_layout",
+    "cell_run",
+    "current_profile",
+    "default_workers",
+    "execute_cell",
+    "expand",
+    "layout_cost_runs",
+    "locked_design",
+    "parse_benchmark",
+    "prorated_key_bits",
+    "run_campaign",
+    "run_cost_campaign",
+    "smoke_campaign",
+    "unprotected_layout",
+]

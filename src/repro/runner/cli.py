@@ -1,0 +1,322 @@
+"""``python -m repro.runner`` — regenerate tables/figures or run sweeps.
+
+Subcommands:
+
+* ``table1`` / ``table2`` — the Tables I/II grid (six ITC'99 benchmarks
+  at M4/M6), printed against the paper's published rows;
+* ``fig5``   — the Fig. 5 layout-cost grid (Prelift/M4/M6 deltas);
+* ``sweep``  — a custom campaign: any benchmarks (ISCAS-85, ITC'99 or
+  ``random:i<I>-o<O>-g<G>[-d<D>]`` descriptors) crossed with split
+  layers and key sizes, optionally dumped to JSON;
+* ``smoke``  — one tiny end-to-end cell (the CI smoke job);
+* ``cache``  — artifact-cache statistics / ``--clear``.
+
+All experiment subcommands honour ``--workers`` (default: all CPUs, or
+``REPRO_WORKERS``), ``--cache-dir`` (default: ``REPRO_CACHE_DIR`` or
+``~/.cache/repro-splitlock``) and ``--no-cache``; ``table1``/``table2``/
+``fig5`` additionally honour the ``REPRO_FULL``/``REPRO_SCALE`` profile
+knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from dataclasses import asdict
+from typing import Sequence
+
+from repro.runner.engine import (
+    CampaignResult,
+    run_campaign,
+    run_cost_campaign,
+)
+from repro.runner.paper_data import PAPER_FIG5, PAPER_TABLE1, PAPER_TABLE2
+from repro.runner.profiles import (
+    current_profile,
+    prorated_key_bits,
+    smoke_campaign,
+)
+from repro.runner.spec import CampaignSpec, CellSpec
+from repro.utils.artifact_cache import ArtifactCache
+from repro.utils.tables import paper_vs_measured, render_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: all CPUs / REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro-splitlock)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute everything, do not read or write the artifact cache",
+    )
+
+
+def _campaign(args: argparse.Namespace, spec: CampaignSpec) -> CampaignResult:
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    stats = result.cache_stats()
+    print(
+        f"[runner] {len(result.cells)} cells in {result.wall_seconds:.1f}s "
+        f"(cache: {stats.hits} hits, {stats.misses} misses)",
+        file=sys.stderr,
+    )
+    return result
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    spec = current_profile().table_campaign()
+    runs = _campaign(args, spec).runs()
+    header = ["bench"]
+    for split in ("M4", "M6"):
+        header += [f"{split} key log", f"{split} key phy", f"{split} regular"]
+    body = []
+    for name in spec.benchmarks:
+        paper4, paper6 = PAPER_TABLE1[name]
+        row = [name]
+        for split, paper in ((4, paper4), (6, paper6)):
+            ccr = runs[(name, split, spec.key_bits[0])].ccr
+            row += [
+                paper_vs_measured(paper[0], round(ccr.key_logical_ccr)),
+                paper_vs_measured(paper[1], round(ccr.key_physical_ccr)),
+                paper_vs_measured(paper[2], round(ccr.regular_ccr)),
+            ]
+        body.append(row)
+    print(
+        render_table(
+            "Table I: CCR (%) for ITC'99, split at M4 / M6 (paper / measured)",
+            header,
+            body,
+            note="paper's b17/M4 attack timed out after 72h (NA)",
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    spec = current_profile().table_campaign()
+    runs = _campaign(args, spec).runs()
+    header = ["bench", "M4 HD", "M4 OER", "M6 HD", "M6 OER"]
+    body = []
+    for name in spec.benchmarks:
+        paper4, paper6 = PAPER_TABLE2[name]
+        row = [name]
+        for split, paper in ((4, paper4), (6, paper6)):
+            report = runs[(name, split, spec.key_bits[0])].hd_oer
+            row += [
+                paper_vs_measured(paper[0], round(report.hd_percent)),
+                paper_vs_measured(paper[1], round(report.oer_percent)),
+            ]
+        body.append(row)
+    print(
+        render_table(
+            f"Table II: HD and OER (%) over {spec.hd_patterns} simulation "
+            "runs (paper / measured; paper used 1M)",
+            header,
+            body,
+        )
+    )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    profile = current_profile()
+    spec = profile.table_campaign()
+    cells = [
+        CellSpec(
+            benchmark=name,
+            key_bits=prorated_key_bits(name, profile.scale),
+            seed=profile.seed,
+            scale=profile.scale,
+            max_candidates=profile.max_candidates,
+        )
+        for name in spec.benchmarks
+    ]
+    data = run_cost_campaign(
+        cells,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    header = ["stage", "metric", "paper avg", "ours median", "ours min..max"]
+    body = []
+    for stage in ("prelift", "M4", "M6"):
+        for metric in ("area", "power", "timing"):
+            column = [data[name][stage][metric] for name in data]
+            body.append(
+                [
+                    stage,
+                    metric,
+                    f"{PAPER_FIG5[stage][metric]:+.1f}",
+                    f"{statistics.median(column):+.1f}",
+                    f"{min(column):+.1f} .. {max(column):+.1f}",
+                ]
+            )
+    print(
+        render_table(
+            "Fig. 5: layout cost (%) vs unprotected baseline "
+            "(key prorated to the paper's key:gate ratio)",
+            header,
+            body,
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = CampaignSpec(
+        benchmarks=tuple(args.benchmarks.split(",")),
+        split_layers=tuple(int(s) for s in args.splits.split(",")),
+        key_bits=tuple(int(k) for k in args.key_bits.split(",")),
+        seed=args.seed,
+        scale=args.scale,
+        hd_patterns=args.hd_patterns,
+    )
+    result = _campaign(args, spec)
+    header = [
+        "cell",
+        "key log CCR",
+        "key phy CCR",
+        "regular CCR",
+        "HD %",
+        "OER %",
+        "secs",
+    ]
+    body = [
+        [
+            r.cell.cell_id,
+            f"{r.run.ccr.key_logical_ccr:.1f}",
+            f"{r.run.ccr.key_physical_ccr:.1f}",
+            f"{r.run.ccr.regular_ccr:.1f}",
+            f"{r.run.hd_oer.hd_percent:.1f}",
+            f"{r.run.hd_oer.oer_percent:.1f}",
+            f"{r.seconds:.1f}",
+        ]
+        for r in result.cells
+    ]
+    print(render_table("Campaign sweep", header, body))
+    if args.json:
+        payload = [
+            {
+                "cell": r.cell.to_payload(),
+                "ccr": asdict(r.run.ccr),
+                "hd_oer": asdict(r.run.hd_oer),
+                "seconds": r.seconds,
+            }
+            for r in result.cells
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[runner] wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    result = _campaign(args, smoke_campaign())
+    run = result.cells[0].run
+    ok = (
+        25.0 <= run.ccr.key_logical_ccr <= 75.0
+        and run.ccr.key_physical_ccr <= 25.0
+        and run.hd_oer.oer_percent > 90.0
+    )
+    print(
+        render_table(
+            "Campaign smoke cell",
+            ["cell", "key log CCR", "key phy CCR", "HD %", "OER %", "ok"],
+            [
+                [
+                    result.cells[0].cell.cell_id,
+                    f"{run.ccr.key_logical_ccr:.1f}",
+                    f"{run.ccr.key_physical_ccr:.1f}",
+                    f"{run.hd_oer.hd_percent:.1f}",
+                    f"{run.hd_oer.oer_percent:.1f}",
+                    "yes" if ok else "NO",
+                ]
+            ],
+            note="expected: key CCR at the random-guessing floor, OER ~100",
+        )
+    )
+    return 0 if ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache() if args.cache_dir is None else ArtifactCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"[runner] cleared {removed} cached artifacts from {cache.root}")
+        return 0
+    print(
+        render_table(
+            f"Artifact cache at {cache.root}",
+            ["entries", "MiB"],
+            [[cache.entry_count(), f"{cache.size_bytes() / 2**20:.1f}"]],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel campaign runner for the SplitLock reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, doc in (
+        ("table1", _cmd_table1, "regenerate the Table I CCR grid"),
+        ("table2", _cmd_table2, "regenerate the Table II HD/OER grid"),
+        ("fig5", _cmd_fig5, "regenerate the Fig. 5 layout-cost grid"),
+        ("smoke", _cmd_smoke, "run one tiny end-to-end cell (CI smoke)"),
+    ):
+        cmd = sub.add_parser(name, help=doc)
+        _add_common(cmd)
+        cmd.set_defaults(func=func)
+
+    sweep = sub.add_parser(name="sweep", help="run a custom campaign grid")
+    _add_common(sweep)
+    sweep.add_argument(
+        "--benchmarks",
+        required=True,
+        help="comma-separated: ISCAS-85/ITC'99 names or "
+        "random:i<I>-o<O>-g<G>[-d<D>] descriptors",
+    )
+    sweep.add_argument("--splits", default="4,6", help="comma-separated layers")
+    sweep.add_argument("--key-bits", default="128", help="comma-separated sizes")
+    sweep.add_argument("--seed", type=int, default=2019)
+    sweep.add_argument("--scale", type=float, default=None)
+    sweep.add_argument("--hd-patterns", type=int, default=16_384)
+    sweep.add_argument("--json", default=None, help="dump results to this path")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser(name="cache", help="artifact-cache stats / clear")
+    cache.add_argument("--cache-dir", default=None)
+    cache.add_argument("--clear", action="store_true")
+    cache.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        # Bad spec input (unknown benchmark, malformed descriptor,
+        # rejected env knob): a clean one-line error, not a traceback.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2

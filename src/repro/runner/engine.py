@@ -1,0 +1,185 @@
+"""The campaign engine: parallel cell execution over a shared cache.
+
+``run_campaign`` expands a :class:`~repro.runner.spec.CampaignSpec` (or
+takes an explicit cell list), executes every cell on a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and collects the
+:class:`~repro.runner.stages.BenchRun` metrics.  Three properties make
+the parallelism safe:
+
+* cells are **independent** — each carries its full configuration and
+  derives every random stream from its own explicit seeds, so results
+  are bit-identical whether cells run serially, in any order, or on any
+  number of workers;
+* heavyweight intermediates go through the **content-keyed on-disk
+  cache**, so sibling cells (two splits of one benchmark share a locked
+  netlist) and later campaigns reuse them — concurrent workers that
+  race on the same stage both compute identical bytes and the atomic
+  store keeps the last writer, which is benign;
+* workers return plain picklable dataclasses; no shared mutable state.
+
+``workers=1`` (or a single-CPU machine) degrades to an in-process
+serial loop with the same results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.runner.spec import CampaignSpec, CellSpec, expand
+from repro.runner.stages import (
+    BenchRun,
+    cell_layout,
+    cell_run,
+    layout_cost_runs,
+    locked_design,
+)
+from repro.utils.artifact_cache import ArtifactCache, CacheStats
+from repro.utils.env import env_int
+
+
+@dataclass
+class CellResult:
+    """One executed cell: its spec, metrics and execution accounting."""
+
+    cell: CellSpec
+    run: BenchRun
+    seconds: float
+    cache: CacheStats
+
+
+@dataclass
+class CampaignResult:
+    """All cells of one campaign, in deterministic spec order."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def runs(self) -> dict[tuple[str, int, int], BenchRun]:
+        """Metrics keyed by (benchmark, split_layer, key_bits)."""
+        return {
+            (r.cell.benchmark, r.cell.split_layer, r.cell.key_bits): r.run
+            for r in self.cells
+        }
+
+    def cache_stats(self) -> CacheStats:
+        total = CacheStats()
+        for result in self.cells:
+            total.merge(result.cache)
+        return total
+
+
+def default_workers() -> int:
+    """``REPRO_WORKERS`` override, else every available CPU."""
+    override = env_int("REPRO_WORKERS")
+    if override is not None:
+        return max(1, override)
+    return os.cpu_count() or 1
+
+
+def _open_cache(cache_dir: str | Path | None, use_cache: bool):
+    if not use_cache:
+        return None
+    if cache_dir is None:
+        return ArtifactCache()
+    return ArtifactCache(Path(cache_dir))
+
+
+def execute_cell(
+    cell: CellSpec,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> CellResult:
+    """Run one cell end to end (module-level: picklable to workers)."""
+    cache = _open_cache(cache_dir, use_cache)
+    start = time.perf_counter()
+    run = cell_run(cell, cache)
+    return CellResult(
+        cell=cell,
+        run=run,
+        seconds=time.perf_counter() - start,
+        cache=cache.stats if cache is not None else CacheStats(),
+    )
+
+
+def execute_cost_cell(
+    cell: CellSpec,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    split_layers: tuple[int, ...] = (4, 6),
+) -> dict[str, dict[str, float]]:
+    """Run one Fig. 5 cost cell (module-level: picklable to workers)."""
+    cache = _open_cache(cache_dir, use_cache)
+    return layout_cost_runs(cell, cache, split_layers=split_layers)
+
+
+def warm_cell(
+    cell: CellSpec,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> str:
+    """Materialise a cell's lock + layout artifacts without attacking."""
+    cache = _open_cache(cache_dir, use_cache)
+    design = locked_design(cell, cache)
+    cell_layout(cell, cache, design=design)
+    return cell.cell_id
+
+
+def _map_cells(
+    worker: Callable,
+    cells: Iterable[CellSpec],
+    workers: int | None,
+    cache_dir: str | Path | None,
+    use_cache: bool,
+    **kwargs,
+) -> list:
+    cells = list(cells)
+    count = workers if workers is not None else default_workers()
+    count = max(1, min(count, len(cells) or 1))
+    if count == 1:
+        return [worker(c, cache_dir, use_cache, **kwargs) for c in cells]
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        futures = [
+            pool.submit(worker, c, cache_dir, use_cache, **kwargs)
+            for c in cells
+        ]
+        return [f.result() for f in futures]
+
+
+def run_campaign(
+    spec: CampaignSpec | Iterable[CellSpec],
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> CampaignResult:
+    """Execute every cell of *spec*; results in deterministic spec order."""
+    cells = expand(spec)
+    start = time.perf_counter()
+    results = _map_cells(execute_cell, cells, workers, cache_dir, use_cache)
+    return CampaignResult(
+        cells=results, wall_seconds=time.perf_counter() - start
+    )
+
+
+def run_cost_campaign(
+    cells: Iterable[CellSpec],
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    split_layers: tuple[int, ...] = (4, 6),
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig. 5 grid: per-benchmark cost deltas for Prelift and each split."""
+    cells = list(cells)
+    rows = _map_cells(
+        execute_cost_cell,
+        cells,
+        workers,
+        cache_dir,
+        use_cache,
+        split_layers=split_layers,
+    )
+    return {cell.benchmark: row for cell, row in zip(cells, rows)}

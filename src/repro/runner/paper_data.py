@@ -1,0 +1,46 @@
+"""The paper's published experiment tables (author's version).
+
+Shared by the benchmark harnesses and the CLI so every surface prints
+the same paper-vs-measured comparison.  ``None`` marks cells the paper
+reports as NA (the b17/M4 attack timed out after 72 hours).
+"""
+
+from __future__ import annotations
+
+#: Table I: benchmark -> (M4 row, M6 row), rows being
+#: (key logical CCR, key physical CCR, regular CCR) in percent.
+PAPER_TABLE1 = {
+    "b14": ((52, 1, 17), (54, 2, 47)),
+    "b15": ((49, 0, 15), (49, 0, 25)),
+    "b17": ((None, None, None), (51, 1, 21)),
+    "b20": ((54, 0, 17), (60, 0, 36)),
+    "b21": ((50, 0, 14), (54, 0, 36)),
+    "b22": ((52, 0, 14), (55, 0, 25)),
+}
+
+#: Table I column averages as published: (M4, M6) per metric.
+PAPER_TABLE1_AVERAGES = {
+    "key_logical": (51, 54),
+    "key_physical": (0, 1),
+    "regular": (15, 32),
+}
+
+#: Table II: benchmark -> ((HD, OER) at M4, (HD, OER) at M6) in percent.
+PAPER_TABLE2 = {
+    "b14": ((46, 100), (25, 100)),
+    "b15": ((52, 100), (20, 100)),
+    "b17": ((None, None), (31, 100)),
+    "b20": ((57, 100), (19, 100)),
+    "b21": ((56, 100), (26, 100)),
+    "b22": ((57, 100), (27, 100)),
+}
+
+#: Table II averages as published: (M4, M6) per metric.
+PAPER_TABLE2_AVERAGES = {"hd": (53, 25), "oer": (100, 100)}
+
+#: Fig. 5: average layout cost (%) versus the unprotected baseline.
+PAPER_FIG5 = {
+    "prelift": {"area": -12.75, "power": +7.66, "timing": +6.40},
+    "M4": {"area": -10.05, "power": +20.34, "timing": +6.25},
+    "M6": {"area": -8.83, "power": +15.46, "timing": +6.53},
+}

@@ -1,0 +1,86 @@
+"""Experiment profiles: the paper's budgets and the scaled default.
+
+One place resolves the ``REPRO_FULL`` / ``REPRO_SCALE`` environment
+knobs into concrete budgets, shared by the benchmark harnesses and the
+``python -m repro.runner`` CLI so both sides of the cache agree on the
+spec (and therefore on the artifact keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchgen import TABLE_I_BENCHMARKS, profile
+from repro.runner.spec import CampaignSpec, DEFAULT_SEED
+from repro.utils.env import env_flag, env_scale
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Budget set for one fidelity level."""
+
+    full: bool
+    scale: float | None
+    seed: int = DEFAULT_SEED
+    key_bits: int = 128
+
+    @property
+    def hd_patterns(self) -> int:
+        """Simulation budget for HD/OER (paper: 1,000,000 runs)."""
+        return 1_000_000 if self.full else 16_384
+
+    @property
+    def ideal_runs(self) -> int:
+        """Random-guess runs for the ideal attack (paper: 1,000,000)."""
+        return 1_000_000 if self.full else 2_000
+
+    @property
+    def max_candidates(self) -> int:
+        return 500 if self.full else 250
+
+    def table_campaign(self) -> CampaignSpec:
+        """The Tables I/II grid: six ITC'99 benchmarks at M4 and M6."""
+        return CampaignSpec(
+            benchmarks=TABLE_I_BENCHMARKS,
+            split_layers=(4, 6),
+            key_bits=(self.key_bits,),
+            seed=self.seed,
+            scale=self.scale,
+            hd_patterns=self.hd_patterns,
+            max_candidates=self.max_candidates,
+        )
+
+
+def prorated_key_bits(
+    name: str, scale: float | None = None, paper_key_bits: int = 128
+) -> int:
+    """The paper's key:gate ratio carried to a scaled-down benchmark.
+
+    Fig. 5 reports *relative* cost, which is meaningless if a 128-bit key
+    is 10x oversized for the scaled design; prorating preserves the ratio
+    (128 bits on 10k-32k gates, ~1.3%).
+    """
+    bench = profile(name)
+    factor = scale if scale is not None else bench.default_scale
+    return max(8, round(paper_key_bits * factor))
+
+
+def current_profile() -> ExperimentProfile:
+    """The profile selected by the environment (``REPRO_FULL``/``REPRO_SCALE``)."""
+    return ExperimentProfile(full=env_flag("REPRO_FULL"), scale=env_scale())
+
+
+#: A deliberately tiny single-cell grid for CI smoke runs: a scaled-down
+#: b14 with a small key and short attack/simulation budgets.  Exercises
+#: every stage (generate, lock, layout, attack, metrics) in well under a
+#: minute on one worker.
+def smoke_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        benchmarks=("b14",),
+        split_layers=(4,),
+        key_bits=(16,),
+        seed=DEFAULT_SEED,
+        scale=0.03,
+        hd_patterns=2_048,
+        max_candidates=80,
+    )

@@ -1,0 +1,185 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names a grid of experiments — benchmarks crossed
+with split layers and key sizes under shared seeds and budgets — and
+expands it into independent :class:`CellSpec` cells.  Each cell is a
+complete, self-contained description of one (benchmark, split layer,
+key size) experiment: a frozen dataclass of plain scalars that
+
+* pickles across :class:`~concurrent.futures.ProcessPoolExecutor`
+  workers,
+* canonicalises into the content key of the on-disk artifact cache, and
+* round-trips through JSON for the ``python -m repro.runner`` CLI.
+
+Benchmarks are referenced by profile name (any ISCAS-85 or ITC'99 name
+from :mod:`repro.benchgen.profiles`) or by a ``random:`` descriptor such
+as ``random:i16-o8-g240`` / ``random:i6-o4-g80-d5`` that instantiates
+:class:`repro.benchgen.GeneratorConfig` — so campaigns can sweep
+workloads far beyond the paper's six circuits.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Iterable
+
+from repro.attacks.proximity import ProximityAttackConfig
+from repro.benchgen import GeneratorConfig, profile
+from repro.locking.atpg_lock import AtpgLockConfig
+
+#: Seeds shared with the seed harnesses so runner results are
+#: bit-identical to the historical serial pipeline.
+DEFAULT_SEED = 2019
+DEFAULT_HD_SEED = 5
+DEFAULT_POSTPROCESS_SEED = 13
+
+_RANDOM_RE = re.compile(
+    r"^random:i(?P<inputs>\d+)-o(?P<outputs>\d+)-g(?P<gates>\d+)"
+    r"(?:-d(?P<dffs>\d+))?$"
+)
+
+
+def parse_benchmark(name: str) -> GeneratorConfig | None:
+    """Validate a benchmark reference.
+
+    Returns the :class:`GeneratorConfig` for ``random:`` descriptors,
+    ``None`` for known profile names; raises ``KeyError``/``ValueError``
+    for anything else.
+    """
+    if name.startswith("random:"):
+        match = _RANDOM_RE.match(name)
+        if match is None:
+            raise ValueError(
+                f"bad random benchmark {name!r}; expected "
+                "random:i<inputs>-o<outputs>-g<gates>[-d<dffs>]"
+            )
+        return GeneratorConfig(
+            num_inputs=int(match["inputs"]),
+            num_outputs=int(match["outputs"]),
+            num_gates=int(match["gates"]),
+            num_dffs=int(match["dffs"] or 0),
+        )
+    profile(name)  # raises KeyError for unknown names
+    return None
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell: everything a worker needs, nothing shared."""
+
+    benchmark: str
+    split_layer: int = 4
+    key_bits: int = 128
+    seed: int = DEFAULT_SEED
+    scale: float | None = None
+    hd_patterns: int = 16_384
+    hd_seed: int = DEFAULT_HD_SEED
+    max_candidates: int = 250
+    utilization: float = 0.70
+    postprocess_seed: int = DEFAULT_POSTPROCESS_SEED
+    attack: ProximityAttackConfig = field(default_factory=ProximityAttackConfig)
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable identity, e.g. ``b14/M4/k128``."""
+        return f"{self.benchmark}/M{self.split_layer}/k{self.key_bits}"
+
+    def lock_config(self) -> AtpgLockConfig:
+        """The locking knobs this cell implies (LEC left to the tests)."""
+        return AtpgLockConfig(
+            key_bits=self.key_bits,
+            seed=self.seed,
+            run_lec=False,
+            max_candidates=self.max_candidates,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        """Canonical dict for cache keys and JSON round-trips."""
+        return asdict(self)
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "CellSpec":
+        data = dict(payload)
+        attack = data.pop("attack", None)
+        cell = CellSpec(**data)
+        if attack is not None:
+            cell = replace(cell, attack=ProximityAttackConfig(**attack))
+        return cell
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative grid: benchmarks x split layers x key sizes."""
+
+    benchmarks: tuple[str, ...]
+    split_layers: tuple[int, ...] = (4, 6)
+    key_bits: tuple[int, ...] = (128,)
+    seed: int = DEFAULT_SEED
+    scale: float | None = None
+    hd_patterns: int = 16_384
+    hd_seed: int = DEFAULT_HD_SEED
+    max_candidates: int = 250
+    utilization: float = 0.70
+    postprocess_seed: int = DEFAULT_POSTPROCESS_SEED
+    attack: ProximityAttackConfig = field(default_factory=ProximityAttackConfig)
+
+    def __post_init__(self) -> None:
+        for name in self.benchmarks:
+            parse_benchmark(name)
+        if not self.benchmarks:
+            raise ValueError("campaign needs at least one benchmark")
+        if not self.split_layers or not self.key_bits:
+            raise ValueError("campaign needs split layers and key sizes")
+
+    def cells(self) -> tuple[CellSpec, ...]:
+        """Expand the grid, slowest-varying benchmark first.
+
+        The order is deterministic so serial and parallel campaigns agree
+        on cell identity; execution order does not affect results (cells
+        share nothing but the read-only cache).
+        """
+        return tuple(
+            CellSpec(
+                benchmark=name,
+                split_layer=split,
+                key_bits=bits,
+                seed=self.seed,
+                scale=self.scale,
+                hd_patterns=self.hd_patterns,
+                hd_seed=self.hd_seed,
+                max_candidates=self.max_candidates,
+                utilization=self.utilization,
+                postprocess_seed=self.postprocess_seed,
+                attack=self.attack,
+            )
+            for name in self.benchmarks
+            for split in self.split_layers
+            for bits in self.key_bits
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "CampaignSpec":
+        data = dict(payload)
+        attack = data.pop("attack", None)
+        for key in ("benchmarks", "split_layers", "key_bits"):
+            if key in data:
+                data[key] = tuple(data[key])
+        spec = CampaignSpec(**data)
+        if attack is not None:
+            object.__setattr__(
+                spec, "attack", ProximityAttackConfig(**attack)
+            )
+        return spec
+
+
+def expand(
+    spec: CampaignSpec | Iterable[CellSpec],
+) -> tuple[CellSpec, ...]:
+    """Normalise a spec-or-cell-list argument to a tuple of cells."""
+    if isinstance(spec, CampaignSpec):
+        return spec.cells()
+    return tuple(spec)

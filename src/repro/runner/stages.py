@@ -1,0 +1,254 @@
+"""Pure, cacheable pipeline stages of one campaign cell.
+
+The cell pipeline factors into three heavyweight stages —
+
+* **lock**    — benchmark generation + ATPG locking (shared by every
+  split layer and attack config of a benchmark),
+* **layout**  — the secure split layout (shared by every attack config),
+* **run**     — proximity attack + post-processing + CCR/HD/OER,
+
+— each a deterministic function of a :class:`~repro.runner.spec.CellSpec`
+slice.  Every stage is wrapped in the content-keyed on-disk cache
+(:mod:`repro.utils.artifact_cache`), so reruns, sibling cells and
+*other processes* (parallel workers, separate harness invocations)
+reuse instead of recompute.  Changing any spec field that feeds a stage
+changes its key and transparently invalidates it and everything
+downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any
+
+from repro.benchgen import load_iscas85, load_itc99, profile
+from repro.benchgen.random_logic import generate_random_circuit
+from repro.core.flow import SplitEvaluation, evaluate_split_layout
+from repro.locking.atpg_lock import AtpgLockReport, atpg_lock
+from repro.locking.key import LockedCircuit
+from repro.metrics.ccr import CcrReport
+from repro.metrics.hd_oer import HdOerReport
+from repro.netlist.circuit import Circuit
+from repro.phys.cost import LayoutCost, measure_layout_cost
+from repro.phys.layout import (
+    PhysicalLayout,
+    build_locked_layout,
+    build_unprotected_layout,
+)
+from repro.runner.spec import CellSpec, parse_benchmark
+from repro.utils.artifact_cache import ArtifactCache, get_or_create
+
+
+@dataclass
+class BenchRun:
+    """Everything measured for one (benchmark, split-layer) cell."""
+
+    benchmark: str
+    split_layer: int
+    ccr: CcrReport
+    ccr_raw: CcrReport  # without the key-gate post-processing (footnote 6)
+    hd_oer: HdOerReport
+    broken_nets: int
+    visible_nets: int
+
+    @staticmethod
+    def from_evaluation(
+        benchmark: str, evaluation: SplitEvaluation
+    ) -> "BenchRun":
+        return BenchRun(
+            benchmark=benchmark,
+            split_layer=evaluation.split_layer,
+            ccr=evaluation.ccr,
+            ccr_raw=evaluation.ccr_without_postprocess,
+            hd_oer=evaluation.hd_oer,
+            broken_nets=evaluation.broken_nets,
+            visible_nets=evaluation.visible_nets,
+        )
+
+
+@dataclass
+class LockedDesign:
+    """Output of the lock stage: the benchmark core and its locked form."""
+
+    benchmark: str
+    core: Circuit
+    locked: LockedCircuit
+    report: AtpgLockReport
+
+
+# ---------------------------------------------------------------------------
+# Cache payloads (one per stage; downstream payloads nest upstream ones).
+
+
+def bench_payload(cell: CellSpec) -> dict[str, Any]:
+    generator = parse_benchmark(cell.benchmark)
+    payload: dict[str, Any] = {
+        "benchmark": cell.benchmark,
+        "seed": cell.seed,
+        "scale": cell.scale,
+    }
+    if generator is not None:
+        payload["generator"] = asdict(generator)
+    return payload
+
+
+def lock_payload(cell: CellSpec) -> dict[str, Any]:
+    return {
+        "stage": "lock",
+        "bench": bench_payload(cell),
+        "lock": asdict(cell.lock_config()),
+    }
+
+
+def layout_payload(cell: CellSpec, prelift: bool = False) -> dict[str, Any]:
+    return {
+        "stage": "layout",
+        "lock": lock_payload(cell),
+        "split_layer": None if prelift else cell.split_layer,
+        "prelift": prelift,
+        "utilization": cell.utilization,
+    }
+
+
+def unprotected_payload(cell: CellSpec) -> dict[str, Any]:
+    return {
+        "stage": "unprotected-layout",
+        "bench": bench_payload(cell),
+        "utilization": cell.utilization,
+    }
+
+
+def run_payload(cell: CellSpec) -> dict[str, Any]:
+    return {
+        "stage": "run",
+        "layout": layout_payload(cell),
+        "attack": asdict(cell.attack),
+        "postprocess_seed": cell.postprocess_seed,
+        "hd_patterns": cell.hd_patterns,
+        "hd_seed": cell.hd_seed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stage functions.  ``cache=None`` computes without persistence.
+
+
+def load_cell_circuit(cell: CellSpec) -> Circuit:
+    """Instantiate the cell's benchmark circuit (cheap; never cached)."""
+    generator = parse_benchmark(cell.benchmark)
+    if generator is not None:
+        return generate_random_circuit(
+            generator, seed=cell.seed, name=cell.benchmark
+        )
+    suite = profile(cell.benchmark).suite
+    loader = load_itc99 if suite == "itc99" else load_iscas85
+    return loader(cell.benchmark, seed=cell.seed, scale=cell.scale)
+
+
+def locked_design(
+    cell: CellSpec, cache: ArtifactCache | None = None
+) -> LockedDesign:
+    """Lock stage: benchmark core + ATPG-locked netlist + report."""
+
+    def create() -> LockedDesign:
+        core = load_cell_circuit(cell).combinational_core()
+        locked, report = atpg_lock(core, cell.lock_config())
+        return LockedDesign(cell.benchmark, core, locked, report)
+
+    return get_or_create(cache, "lock", lock_payload(cell), create)
+
+
+def cell_layout(
+    cell: CellSpec,
+    cache: ArtifactCache | None = None,
+    design: LockedDesign | None = None,
+    prelift: bool = False,
+) -> PhysicalLayout:
+    """Layout stage: the secure split layout (or the Prelift reference)."""
+
+    def create() -> PhysicalLayout:
+        locked = (design or locked_design(cell, cache)).locked
+        return build_locked_layout(
+            locked,
+            split_layer=cell.split_layer,
+            seed=cell.seed,
+            utilization=cell.utilization,
+            prelift=prelift,
+        )
+
+    return get_or_create(cache, "layout", layout_payload(cell, prelift), create)
+
+
+def unprotected_layout(
+    cell: CellSpec,
+    cache: ArtifactCache | None = None,
+    design: LockedDesign | None = None,
+) -> PhysicalLayout:
+    """Reference layout of the original core (Fig. 5 baseline)."""
+
+    def create() -> PhysicalLayout:
+        # The baseline does not depend on locking; regenerating the
+        # core directly avoids pulling the heavy lock stage in cold.
+        core = (
+            design.core
+            if design is not None
+            else load_cell_circuit(cell).combinational_core()
+        )
+        return build_unprotected_layout(
+            core, seed=cell.seed, utilization=cell.utilization
+        )
+
+    return get_or_create(cache, "unprotected", unprotected_payload(cell), create)
+
+
+def cell_run(
+    cell: CellSpec,
+    cache: ArtifactCache | None = None,
+    design: LockedDesign | None = None,
+    layout: PhysicalLayout | None = None,
+) -> BenchRun:
+    """Run stage: attack the split layout and compute Table I/II metrics."""
+
+    def create() -> BenchRun:
+        local_design = design or locked_design(cell, cache)
+        local_layout = layout or cell_layout(cell, cache, design=local_design)
+        evaluation = evaluate_split_layout(
+            local_design.core,
+            local_layout,
+            split_layer=cell.split_layer,
+            attack_config=cell.attack,
+            hd_patterns=cell.hd_patterns,
+            hd_seed=cell.hd_seed,
+            postprocess_seed=cell.postprocess_seed,
+        )
+        return BenchRun.from_evaluation(cell.benchmark, evaluation)
+
+    return get_or_create(cache, "run", run_payload(cell), create)
+
+
+def layout_cost_runs(
+    cell: CellSpec,
+    cache: ArtifactCache | None = None,
+    split_layers: tuple[int, ...] = (4, 6),
+) -> dict[str, dict[str, float]]:
+    """Fig. 5 stage: cost deltas of Prelift and each split vs unprotected.
+
+    ``cell.split_layer`` is ignored; the sweep covers *split_layers*.
+    """
+    design = locked_design(cell, cache)
+    base_layout = unprotected_layout(cell, cache, design=design)
+    base = _cost(base_layout)
+    deltas = {
+        "prelift": _cost(
+            cell_layout(cell, cache, design=design, prelift=True)
+        ).delta_percent(base)
+    }
+    for split in split_layers:
+        split_cell = replace(cell, split_layer=split)
+        layout = cell_layout(split_cell, cache, design=design)
+        deltas[f"M{split}"] = _cost(layout).delta_percent(base)
+    return deltas
+
+
+def _cost(layout: PhysicalLayout) -> LayoutCost:
+    return measure_layout_cost(layout.circuit, layout.floorplan, layout.routing)

@@ -1,13 +1,22 @@
-"""Shared utilities: deterministic RNG streams and table rendering."""
+"""Shared utilities: RNG streams, env knobs, artifact cache, tables."""
 
+from repro.utils.artifact_cache import ArtifactCache, CacheStats, spec_key
+from repro.utils.env import env_cache_dir, env_flag, env_int, env_scale
 from repro.utils.rng import derive_seed, np_rng_for, random_bits, rng_for
 from repro.utils.tables import paper_vs_measured, render_table
 
 __all__ = [
+    "ArtifactCache",
+    "CacheStats",
     "derive_seed",
+    "env_cache_dir",
+    "env_flag",
+    "env_int",
+    "env_scale",
     "np_rng_for",
     "paper_vs_measured",
     "random_bits",
     "render_table",
     "rng_for",
+    "spec_key",
 ]

@@ -1,0 +1,175 @@
+"""Content-keyed on-disk cache for heavyweight experiment artifacts.
+
+Locked netlists, layouts and attack runs are expensive to compute and
+fully determined by their specification (benchmark profile, seeds, lock
+and attack knobs).  The cache keys each artifact by the SHA-256 of its
+canonicalised spec payload, so
+
+* re-running any harness is free once the artifacts exist,
+* independent processes (parallel campaign workers, separate pytest
+  invocations, different harnesses) share one store, and
+* *any* change to the spec — seed, key bits, split layer, scale,
+  attack config — changes the key and transparently invalidates.
+
+Entries are pickles written atomically (temp file + ``os.replace``) so
+concurrent workers computing the same cell race benignly: both produce
+identical bytes and the last rename wins.  Corrupt or unreadable
+entries are treated as misses and evicted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.utils.env import env_cache_dir
+
+#: Bump to invalidate every cached artifact after a semantic change in
+#: the flow (locking, layout or attack algorithms).
+CACHE_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce *value* to JSON-serialisable canonical form."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _canonical(asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for cache key")
+
+
+def spec_key(payload: Mapping[str, Any]) -> str:
+    """Stable SHA-256 hex digest of a spec payload."""
+    rendered = json.dumps(
+        _canonical({**payload, "cache_version": CACHE_VERSION}),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+
+@dataclass
+class ArtifactCache:
+    """Pickle store under ``root`` with per-stage sub-directories."""
+
+    root: Path = field(default_factory=env_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    _MISS = object()
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / f"{key}.pkl"
+
+    def get(self, stage: str, key: str) -> Any:
+        """The cached object, or :attr:`MISS` when absent/unreadable."""
+        path = self._path(stage, key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return self._MISS
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+        ):
+            # Corrupt or stale entry (e.g. interrupted writer on a
+            # non-atomic filesystem, or a renamed/moved class): evict
+            # and miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return self._MISS
+        self.stats.hits += 1
+        return value
+
+    def put(self, stage: str, key: str, value: Any) -> None:
+        """Atomically store *value* under (*stage*, *key*)."""
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        self.stats.stores += 1
+
+    def get_or_create(
+        self, stage: str, payload: Mapping[str, Any], create: Callable[[], Any]
+    ) -> Any:
+        """Fetch the artifact for *payload*, computing and storing on miss."""
+        key = spec_key(payload)
+        value = self.get(stage, key)
+        if value is not self._MISS:
+            return value
+        value = create()
+        self.put(stage, key, value)
+        return value
+
+    def contains(self, stage: str, payload: Mapping[str, Any]) -> bool:
+        return self._path(stage, spec_key(payload)).exists()
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def size_bytes(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def get_or_create(
+    cache: ArtifactCache | None,
+    stage: str,
+    payload: Mapping[str, Any],
+    create: Callable[[], Any],
+) -> Any:
+    """Cache-optional helper: compute directly when *cache* is ``None``."""
+    if cache is None:
+        return create()
+    return cache.get_or_create(stage, payload, create)

@@ -1,0 +1,84 @@
+"""Explicit parsing of the ``REPRO_*`` environment knobs.
+
+The experiment harnesses and the campaign runner are configured through
+a handful of environment variables.  Parsing lives here so that every
+consumer agrees on the semantics — in particular the edge cases that a
+``float(os.environ.get(...) or 0) or None`` truthiness chain silently
+mangles: an *empty* value means "unset" (fall back to the default),
+while an explicit ``0`` is a configuration error that must be reported,
+not swallowed into the default.
+
+Knobs:
+
+* ``REPRO_FULL=1``      — full-fidelity experiment profile.
+* ``REPRO_SCALE=<f>``   — benchmark scale-factor override (``> 0``).
+* ``REPRO_CACHE_DIR``   — artifact-cache directory override.
+* ``REPRO_WORKERS``     — default worker count for the campaign runner.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_TRUE_VALUES = frozenset({"1", "true", "yes", "on"})
+_FALSE_VALUES = frozenset({"0", "false", "no", "off", ""})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse a boolean knob; unset or empty means *default*."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value == "":
+        return default
+    if value in _TRUE_VALUES:
+        return True
+    if value in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{name}={raw!r} is not a boolean; use 1/0, true/false, yes/no or on/off"
+    )
+
+
+def env_scale(name: str = "REPRO_SCALE") -> float | None:
+    """Parse the benchmark scale override.
+
+    Unset or empty returns ``None`` (each profile's default scale).  A
+    present value must parse as a float strictly greater than zero —
+    ``REPRO_SCALE=0`` would otherwise silently disable the override,
+    which is never what the caller meant.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not a number") from exc
+    if value <= 0:
+        raise ValueError(
+            f"{name}={raw!r} must be > 0; unset it (or leave it empty) "
+            "to use each benchmark's default scale"
+        )
+    return value
+
+
+def env_int(name: str, default: int | None = None) -> int | None:
+    """Parse an integer knob; unset or empty means *default*."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not an integer") from exc
+
+
+def env_cache_dir(name: str = "REPRO_CACHE_DIR") -> Path:
+    """The artifact-cache directory (override or per-user default)."""
+    raw = os.environ.get(name)
+    if raw is not None and raw.strip() != "":
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "repro-splitlock"

@@ -1,0 +1,141 @@
+"""Artifact cache and REPRO_* environment-knob parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.artifact_cache import ArtifactCache, spec_key
+from repro.utils.env import env_cache_dir, env_flag, env_int, env_scale
+
+
+# ---------------------------------------------------------------------------
+# spec_key canonicalisation
+
+
+def test_spec_key_stable_under_ordering():
+    assert spec_key({"a": 1, "b": (2, 3)}) == spec_key({"b": [2, 3], "a": 1})
+
+
+def test_spec_key_sensitive_to_values():
+    base = {"seed": 2019, "key_bits": 128}
+    assert spec_key(base) != spec_key({**base, "seed": 2020})
+    assert spec_key(base) != spec_key({**base, "key_bits": 64})
+    assert spec_key(base) != spec_key({**base, "extra": None})
+
+
+def test_spec_key_canonicalises_dataclasses():
+    from repro.attacks.proximity import ProximityAttackConfig
+
+    assert spec_key({"attack": ProximityAttackConfig()}) == spec_key(
+        {"attack": ProximityAttackConfig()}
+    )
+    assert spec_key({"attack": ProximityAttackConfig()}) != spec_key(
+        {"attack": ProximityAttackConfig(seed=8)}
+    )
+
+
+def test_spec_key_rejects_unkeyable_values():
+    with pytest.raises(TypeError):
+        spec_key({"bad": object()})
+
+
+# ---------------------------------------------------------------------------
+# ArtifactCache behaviour
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = spec_key({"x": 1})
+    assert cache.get("stage", key) is ArtifactCache._MISS
+    cache.put("stage", key, {"payload": [1, 2, 3]})
+    assert cache.get("stage", key) == {"payload": [1, 2, 3]}
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.entry_count() == 1
+
+
+def test_get_or_create_computes_once(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    calls = []
+
+    def create():
+        calls.append(1)
+        return "value"
+
+    payload = {"a": 1}
+    assert cache.get_or_create("s", payload, create) == "value"
+    assert cache.get_or_create("s", payload, create) == "value"
+    assert len(calls) == 1
+
+
+def test_corrupt_entry_is_evicted_and_recomputed(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = spec_key({"a": 1})
+    cache.put("s", key, 42)
+    next(tmp_path.glob("s/*.pkl")).write_bytes(b"garbage")
+    assert cache.get("s", key) is ArtifactCache._MISS
+    assert cache.entry_count() == 0
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for index in range(3):
+        cache.put("s", spec_key({"i": index}), index)
+    assert cache.clear() == 3
+    assert cache.entry_count() == 0
+    assert cache.size_bytes() == 0
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs (the REPRO_SCALE=0 / empty-string fix)
+
+
+def test_env_scale_unset_and_empty_mean_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert env_scale() is None
+    monkeypatch.setenv("REPRO_SCALE", "")
+    assert env_scale() is None
+    monkeypatch.setenv("REPRO_SCALE", "  ")
+    assert env_scale() is None
+
+
+def test_env_scale_parses_value(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    assert env_scale() == 0.05
+
+
+def test_env_scale_rejects_zero_and_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0")
+    with pytest.raises(ValueError, match="must be > 0"):
+        env_scale()
+    monkeypatch.setenv("REPRO_SCALE", "-1")
+    with pytest.raises(ValueError):
+        env_scale()
+    monkeypatch.setenv("REPRO_SCALE", "fast")
+    with pytest.raises(ValueError, match="not a number"):
+        env_scale()
+
+
+def test_env_flag_semantics(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert env_flag("REPRO_FULL") is False
+    for truthy in ("1", "true", "YES", "on"):
+        monkeypatch.setenv("REPRO_FULL", truthy)
+        assert env_flag("REPRO_FULL") is True
+    for falsy in ("0", "false", "", "off"):
+        monkeypatch.setenv("REPRO_FULL", falsy)
+        assert env_flag("REPRO_FULL") is False
+    monkeypatch.setenv("REPRO_FULL", "maybe")
+    with pytest.raises(ValueError):
+        env_flag("REPRO_FULL")
+
+
+def test_env_int_and_cache_dir(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert env_int("REPRO_WORKERS") is None
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert env_int("REPRO_WORKERS") == 4
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert env_cache_dir() == tmp_path
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert env_cache_dir().name == "repro-splitlock"

@@ -14,7 +14,6 @@ from repro.attacks.result import rebuild_netlist
 from repro.locking import AtpgLockConfig, atpg_lock
 from repro.metrics import compute_ccr, compute_hd_oer, compute_pnr
 from repro.phys import build_locked_layout
-from repro.sim.bitparallel import functions_equal_exhaustive
 from tests.conftest import build_random_circuit
 
 

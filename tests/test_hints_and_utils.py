@@ -1,11 +1,8 @@
 """Unit tests for the attack hint classes and the shared utilities."""
 
-import math
-
 import pytest
 
 from repro.attacks.hints import (
-    build_context,
     creates_loop,
     load_allows,
     proximity_score,

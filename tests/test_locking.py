@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.atpg import StuckAtFault, enumerate_failing_patterns, internal_faults
 from repro.locking import (

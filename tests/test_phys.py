@@ -18,7 +18,6 @@ from repro.phys import (
     place,
     randomize_tie_cells,
     route_design,
-    split_layout,
 )
 from repro.phys.routing import ROUTING_PAIRS
 from repro.phys.stackup import MetalStack

@@ -1,0 +1,230 @@
+"""Campaign runner: spec expansion, parity, caching, CLI.
+
+The two load-bearing guarantees:
+
+* **parity** — parallel execution produces bit-identical metrics to
+  serial execution (cells are pure functions of their spec);
+* **invalidation** — the on-disk cache is keyed by the full spec, so
+  changing any field (seed, key bits, split layer, scale, budgets)
+  recomputes instead of serving stale artifacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    BenchRun,
+    CampaignSpec,
+    CellSpec,
+    cell_run,
+    execute_cell,
+    parse_benchmark,
+    run_campaign,
+    run_cost_campaign,
+    smoke_campaign,
+)
+from repro.runner.cli import main as cli_main
+from repro.runner.stages import lock_payload, run_payload
+from repro.utils.artifact_cache import ArtifactCache, spec_key
+
+#: A tiny grid: every stage exercised, seconds of runtime.
+TINY = CampaignSpec(
+    benchmarks=("b14", "random:i8-o4-g60"),
+    split_layers=(4, 6),
+    key_bits=(12,),
+    scale=0.03,
+    hd_patterns=512,
+    max_candidates=60,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_campaign(TINY, workers=1, use_cache=False)
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion
+
+
+def test_spec_expands_full_grid():
+    cells = TINY.cells()
+    assert len(cells) == 4
+    assert [c.cell_id for c in cells] == [
+        "b14/M4/k12",
+        "b14/M6/k12",
+        "random:i8-o4-g60/M4/k12",
+        "random:i8-o4-g60/M6/k12",
+    ]
+    for cell in cells:
+        assert cell.hd_patterns == 512
+        assert cell.scale == 0.03
+
+
+def test_spec_rejects_unknown_benchmark():
+    with pytest.raises(KeyError):
+        CampaignSpec(benchmarks=("b99",))
+    with pytest.raises(ValueError):
+        CampaignSpec(benchmarks=("random:nonsense",))
+
+
+def test_random_descriptor_round_trip():
+    config = parse_benchmark("random:i16-o8-g240-d5")
+    assert (config.num_inputs, config.num_outputs) == (16, 8)
+    assert (config.num_gates, config.num_dffs) == (240, 5)
+    assert parse_benchmark("b14") is None
+
+
+def test_cell_payload_round_trip():
+    cell = TINY.cells()[0]
+    clone = CellSpec.from_payload(cell.to_payload())
+    assert clone == cell
+
+
+# ---------------------------------------------------------------------------
+# Parity: serial == parallel, bit for bit
+
+
+def test_serial_campaign_metrics_sane(serial_result):
+    assert len(serial_result.cells) == 4
+    for result in serial_result.cells:
+        run = result.run
+        assert isinstance(run, BenchRun)
+        assert 0.0 <= run.ccr.key_logical_ccr <= 100.0
+        assert run.hd_oer.patterns == 512
+
+
+def test_parallel_matches_serial_bit_identical(serial_result):
+    parallel = run_campaign(TINY, workers=2, use_cache=False)
+    assert parallel.runs() == serial_result.runs()
+
+
+def test_cached_rerun_matches_and_hits(tmp_path, serial_result):
+    first = run_campaign(TINY, workers=1, cache_dir=tmp_path)
+    assert first.runs() == serial_result.runs()
+    second = run_campaign(TINY, workers=1, cache_dir=tmp_path)
+    assert second.runs() == serial_result.runs()
+    stats = second.cache_stats()
+    assert stats.misses == 0
+    assert stats.stores == 0
+    assert stats.hits == len(TINY.cells())
+
+
+# ---------------------------------------------------------------------------
+# Cache keying and invalidation
+
+
+def test_cache_shares_lock_stage_across_splits(tmp_path):
+    cells = TINY.cells()
+    assert lock_payload(cells[0]) == lock_payload(cells[1])
+    assert run_payload(cells[0]) != run_payload(cells[1])
+    execute_cell(cells[0], cache_dir=tmp_path)
+    cache = ArtifactCache(tmp_path)
+    assert cache.contains("lock", lock_payload(cells[1]))
+    assert not cache.contains("run", run_payload(cells[1]))
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("seed", 2020),
+        ("key_bits", 14),
+        ("split_layer", 5),
+        ("scale", 0.04),
+        ("hd_patterns", 256),
+    ],
+)
+def test_cache_invalidates_on_spec_change(field, value):
+    from dataclasses import replace
+
+    base = TINY.cells()[0]
+    changed = replace(base, **{field: value})
+    assert spec_key(run_payload(base)) != spec_key(run_payload(changed))
+
+
+def test_changed_spec_recomputes_not_reuses(tmp_path):
+    from dataclasses import replace
+
+    base = TINY.cells()[0]
+    execute_cell(base, cache_dir=tmp_path)
+    changed = replace(base, hd_patterns=256)
+    result = execute_cell(changed, cache_dir=tmp_path)
+    # lock + layout stages are spec-identical and must be served from
+    # cache; the run stage depends on hd_patterns and must recompute.
+    assert result.cache.hits == 2
+    assert result.cache.stores == 1
+    assert result.run.hd_oer.patterns == 256
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    base = TINY.cells()[0]
+    execute_cell(base, cache_dir=tmp_path)
+    for path in tmp_path.glob("*/*.pkl"):
+        path.write_bytes(b"not a pickle")
+    result = execute_cell(base, cache_dir=tmp_path)
+    assert result.cache.hits == 0
+    assert result.run == cell_run(base)
+
+
+# ---------------------------------------------------------------------------
+# Cost campaign and CLI
+
+
+def test_cost_campaign_produces_stage_deltas(tmp_path):
+    cell = CellSpec(
+        benchmark="b14", key_bits=10, scale=0.03, max_candidates=60
+    )
+    data = run_cost_campaign(
+        [cell], workers=1, cache_dir=tmp_path, split_layers=(4,)
+    )
+    assert set(data) == {"b14"}
+    assert set(data["b14"]) == {"prelift", "M4"}
+    for deltas in data["b14"].values():
+        assert set(deltas) == {"area", "power", "timing"}
+
+
+def test_cli_smoke_cell_passes(tmp_path, capsys):
+    argv = ["smoke", "--cache-dir", str(tmp_path), "--workers", "1"]
+    assert cli_main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Campaign smoke cell" in out
+    # a second invocation is served entirely from the cache
+    assert cli_main(argv) == 0
+
+
+def test_cli_sweep_runs_custom_grid(tmp_path, capsys):
+    json_path = tmp_path / "sweep.json"
+    assert (
+        cli_main(
+            [
+                "sweep",
+                "--benchmarks",
+                "random:i8-o4-g60",
+                "--splits",
+                "4",
+                "--key-bits",
+                "10",
+                "--hd-patterns",
+                "256",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--workers",
+                "1",
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    assert "random:i8-o4-g60/M4/k10" in capsys.readouterr().out
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert payload[0]["cell"]["benchmark"] == "random:i8-o4-g60"
+
+
+def test_smoke_campaign_is_single_small_cell():
+    cells = smoke_campaign().cells()
+    assert len(cells) == 1
+    assert cells[0].hd_patterns <= 4096

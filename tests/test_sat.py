@@ -12,7 +12,7 @@ from repro.sat.cnf import Cnf
 from repro.sat.lec import build_miter, check_equivalence
 from repro.sat.solver import CdclSolver, solve_cnf
 from repro.sat.tseitin import encode_circuit
-from repro.sim.bitparallel import exhaustive_words, simulate_words
+from repro.sim.bitparallel import simulate_words
 from tests.conftest import build_random_circuit, tiny_mux_circuit
 
 
