@@ -1,0 +1,185 @@
+"""Simulation-engine benchmark: big-int vs compiled patterns/sec.
+
+Measures the workload every paper metric is built on — the HD/OER
+Monte-Carlo pipeline (``compute_hd_oer``: two machines simulated over
+chunked random patterns, output rows compared and popcounted) — on each
+ISCAS-85 / ITC'99 profile, once per engine, and emits
+``BENCH_sim.json`` so the performance trajectory is tracked from PR to
+PR.  Both engines are first cross-checked for an identical HD/OER
+report on a mutated twin circuit; the timing loop then runs the exact
+consumer code path under ``REPRO_SIM_ENGINE=bigint`` vs ``compiled``.
+
+Usage::
+
+    python benchmarks/bench_sim.py --quick          # CI smoke subset
+    python benchmarks/bench_sim.py                  # full profile grid
+    python benchmarks/bench_sim.py --output out.json --patterns 40000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import load_iscas85, load_itc99  # noqa: E402
+from repro.metrics.hd_oer import compute_hd_oer  # noqa: E402
+from repro.netlist.gate_types import INVERTED_DUAL  # noqa: E402
+from repro.sim.compiled import compile_circuit  # noqa: E402
+
+ISCAS85 = ("c432", "c880", "c1355", "c1908", "c3540", "c5315", "c7552")
+ITC99 = ("b14", "b15", "b17", "b20", "b21", "b22")
+QUICK = ("c432", "c880", "c7552", "b14")
+
+#: The largest ISCAS-85 profile: the acceptance anchor of this benchmark.
+LARGEST_ISCAS85 = "c7552"
+
+
+def load_benchmark(name: str):
+    if name.startswith("c"):
+        circuit = load_iscas85(name)
+        suite = "iscas85"
+    else:
+        circuit = load_itc99(name)
+        suite = "itc99"
+    if circuit.is_sequential:
+        circuit = circuit.combinational_core()
+    return circuit, suite
+
+
+def mutated_twin(circuit):
+    """A same-interface twin with one gate flipped (nonzero HD/OER)."""
+    twin = circuit.copy(f"{circuit.name}_twin")
+    victim = next(
+        gate
+        for gate in twin.gates.values()
+        if gate.is_combinational and not gate.is_tie
+    )
+    twin.replace_gate(victim.with_type(INVERTED_DUAL[victim.gate_type]))
+    return twin
+
+
+def run_engine(engine: str, fn, *args):
+    os.environ["REPRO_SIM_ENGINE"] = engine
+    try:
+        return fn(*args)
+    finally:
+        del os.environ["REPRO_SIM_ENGINE"]
+
+
+def best_of(repeats: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_one(
+    name: str, total_patterns: int, chunk: int, repeats: int, seed: int
+) -> dict:
+    circuit, suite = load_benchmark(name)
+    twin = mutated_twin(circuit)
+
+    compile_start = time.perf_counter()
+    compile_circuit(circuit)
+    compile_circuit(twin)
+    compile_seconds = time.perf_counter() - compile_start
+
+    workload = lambda: compute_hd_oer(  # noqa: E731
+        circuit, twin, patterns=total_patterns, seed=seed, chunk=chunk
+    )
+    check = min(total_patterns, 2048)
+    sanity = lambda: compute_hd_oer(  # noqa: E731
+        circuit, twin, patterns=check, seed=seed, chunk=chunk
+    )
+    if run_engine("bigint", sanity) != run_engine("compiled", sanity):
+        raise AssertionError(f"{name}: engines disagree on HD/OER")
+
+    bigint_seconds = run_engine("bigint", best_of, repeats, workload)
+    compiled_seconds = run_engine("compiled", best_of, repeats, workload)
+    return {
+        "benchmark": name,
+        "suite": suite,
+        "gates": circuit.num_logic_gates(),
+        "outputs": len(circuit.outputs),
+        "patterns": total_patterns,
+        "chunk": chunk,
+        "bigint_seconds": bigint_seconds,
+        "compiled_seconds": compiled_seconds,
+        "compile_seconds": compile_seconds,
+        "bigint_pps": total_patterns / bigint_seconds,
+        "compiled_pps": total_patterns / compiled_seconds,
+        "speedup": bigint_seconds / compiled_seconds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset (fewer benchmarks, smaller budget)",
+    )
+    parser.add_argument("--patterns", type=int, default=None)
+    parser.add_argument("--chunk", type=int, default=4096)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
+    )
+    args = parser.parse_args(argv)
+
+    names = QUICK if args.quick else ISCAS85 + ITC99
+    total_patterns = args.patterns or (16_384 if args.quick else 20_000)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    results = []
+    print(
+        f"{'benchmark':>10} {'gates':>6} {'bigint pat/s':>14} "
+        f"{'compiled pat/s':>15} {'speedup':>8} {'compile s':>10}"
+    )
+    for name in names:
+        row = bench_one(name, total_patterns, args.chunk, repeats, args.seed)
+        results.append(row)
+        print(
+            f"{row['benchmark']:>10} {row['gates']:>6} "
+            f"{row['bigint_pps']:>14.0f} {row['compiled_pps']:>15.0f} "
+            f"{row['speedup']:>7.1f}x {row['compile_seconds']:>10.4f}"
+        )
+
+    anchor = next(
+        (r for r in results if r["benchmark"] == LARGEST_ISCAS85), None
+    )
+    payload = {
+        "workload": "compute_hd_oer Monte-Carlo pipeline (two machines, chunked patterns)",
+        "patterns": total_patterns,
+        "chunk": args.chunk,
+        "repeats": repeats,
+        "seed": args.seed,
+        "quick": args.quick,
+        "results": results,
+        "largest_iscas85": (
+            {"benchmark": LARGEST_ISCAS85, "speedup": anchor["speedup"]}
+            if anchor
+            else None
+        ),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if anchor is not None:
+        print(
+            f"largest ISCAS-85 ({LARGEST_ISCAS85}): "
+            f"{anchor['speedup']:.1f}x patterns/sec over big-int"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

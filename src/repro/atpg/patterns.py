@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 from repro.atpg.cubes import Cube, cover_care_bits, exact_cover
 from repro.atpg.faults import StuckAtFault
 from repro.netlist.circuit import Circuit
-from repro.sim.bitparallel import exhaustive_words, mask_for, simulate_words
+from repro.sim.bitparallel import (
+    compiled_engine_for,
+    exhaustive_words,
+    mask_for,
+    simulate_words,
+)
 
 
 class FailingSetTooLarge(Exception):
@@ -82,11 +87,19 @@ def enumerate_failing_patterns(
         )
     words, num_patterns = exhaustive_words(variables)
     mask = mask_for(num_patterns)
-    good = simulate_words(module, words, num_patterns)
     stuck_word = mask if fault.value else 0
-    faulty = simulate_words(
-        module, words, num_patterns, overrides={fault.net: stuck_word}
-    )
+    engine = compiled_engine_for(module, num_patterns)
+    if engine is not None:
+        # One levelized sweep evaluates the good machine and the stuck
+        # machine as two override columns of the same stimulus batch.
+        good, faulty = engine.simulate_pair(
+            words, num_patterns, {fault.net: stuck_word}
+        )
+    else:
+        good = simulate_words(module, words, num_patterns)
+        faulty = simulate_words(
+            module, words, num_patterns, overrides={fault.net: stuck_word}
+        )
 
     minterms_by_output: dict[str, set[int]] = {}
     for output in module.outputs:

@@ -219,9 +219,19 @@ def _plan_faults(
     sim_words = {
         net: rng.getrandbits(sim_lanes) for net in work.inputs
     }
-    from repro.sim.bitparallel import simulate_words
+    from repro.sim.bitparallel import compiled_engine_for, simulate_words
 
-    net_values = simulate_words(work, sim_words, sim_lanes)
+    engine = compiled_engine_for(work, sim_lanes)
+    if engine is not None:
+        # Keep the values in the array domain: the reachability screen
+        # below ANDs per-variable words for every candidate minterm, and
+        # vectorized rows avoid re-materializing 4096-bit ints per net.
+        value_rows = engine.simulate_array(sim_words, sim_lanes)
+        net_values = {
+            net: value_rows[slot] for net, slot in engine.index.items()
+        }
+    else:
+        net_values = simulate_words(work, sim_words, sim_lanes)
 
     keyed: list[FaultPlan] = []
     free: list[FaultPlan] = []
@@ -325,7 +335,7 @@ def _cover_has_flip_symmetry(patterns: FailingPatterns) -> bool:
 
 def _failing_set_reachable(
     patterns: FailingPatterns,
-    net_values: dict[str, int],
+    net_values: dict[str, int] | dict[str, "object"],
     lanes: int,
 ) -> bool:
     """Does any simulated input pattern land in the failing set?
@@ -334,9 +344,14 @@ def _failing_set_reachable(
     values equal that minterm (an AND over per-variable (non-)inverted
     words); any nonzero word proves the minterm occurs under real input
     stimuli, i.e. a wrong key will visibly corrupt the design there.
+
+    Accepts big-int words or uint64 lane arrays (whichever engine
+    produced the reference simulation).
     """
-    mask = (1 << lanes) - 1
     variable_words = [net_values[v] for v in patterns.variables]
+    if variable_words and not isinstance(variable_words[0], int):
+        return _failing_set_reachable_arrays(patterns, variable_words, lanes)
+    mask = (1 << lanes) - 1
     for terms in patterns.minterms_by_output.values():
         for minterm in terms:
             word = mask
@@ -349,4 +364,36 @@ def _failing_set_reachable(
                     break
             if word:
                 return True
+    return False
+
+
+def _failing_set_reachable_arrays(
+    patterns: FailingPatterns,
+    variable_rows: list,
+    lanes: int,
+) -> bool:
+    """Array-domain variant of :func:`_failing_set_reachable`."""
+    import numpy as np
+
+    from repro.sim.compiled import tail_mask
+
+    tail = tail_mask(lanes)
+    for terms in patterns.minterms_by_output.values():
+        for minterm in terms:
+            word = None  # None = all lanes still match
+            for index, row in enumerate(variable_rows):
+                if (minterm >> index) & 1:
+                    cur = row
+                else:
+                    cur = np.bitwise_not(row)  # fresh array, safe to edit
+                    cur[-1] &= tail
+                if word is None:
+                    word = cur.copy() if cur is row else cur
+                else:
+                    word &= cur
+                if not word.any():
+                    break
+            else:
+                if word is None or word.any():
+                    return True
     return False

@@ -105,6 +105,7 @@ class Circuit:
         self._fanout_cache: dict[str, tuple[str, ...]] | None = None
         self._topo_cache: list[str] | None = None
         self._levels_cache: dict[str, int] | None = None
+        self._compiled_cache: object | None = None
         for gate in gates:
             self.add_gate(gate)
         for net in outputs:
@@ -166,6 +167,25 @@ class Circuit:
         self._fanout_cache = None
         self._topo_cache = None
         self._levels_cache = None
+        self._compiled_cache = None
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle only the structure; derived caches (topological order,
+        fanout, the compiled simulation program) are cheap to rebuild and
+        would otherwise bloat artifact-cache blobs and worker hand-offs."""
+        return {"name": self.name, "gates": self.gates, "outputs": self.outputs}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.name = state["name"]
+        self.gates = state["gates"]
+        self.outputs = state["outputs"]
+        self._fanout_cache = None
+        self._topo_cache = None
+        self._levels_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Views

@@ -1,6 +1,8 @@
-"""Logic simulation: bit-parallel, event-driven, and sequential engines."""
+"""Logic simulation: bit-parallel (big-int and compiled vectorized),
+event-driven, and sequential engines."""
 
 from repro.sim.bitparallel import (
+    compiled_engine_for,
     count_differing_lanes,
     exhaustive_words,
     functions_equal_exhaustive,
@@ -11,14 +13,19 @@ from repro.sim.bitparallel import (
     signal_probabilities,
     simulate_patterns,
     simulate_words,
+    simulate_words_bigint,
     toggle_activity,
     unpack_word,
 )
+from repro.sim.compiled import CompiledCircuit, compile_circuit
 from repro.sim.event_sim import evaluate_outputs, simulate_event_driven
 from repro.sim.sequential import SequentialSimulator
 
 __all__ = [
+    "CompiledCircuit",
     "SequentialSimulator",
+    "compile_circuit",
+    "compiled_engine_for",
     "count_differing_lanes",
     "evaluate_outputs",
     "exhaustive_words",
@@ -31,6 +38,7 @@ __all__ = [
     "simulate_event_driven",
     "simulate_patterns",
     "simulate_words",
+    "simulate_words_bigint",
     "toggle_activity",
     "unpack_word",
 ]

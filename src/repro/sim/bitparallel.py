@@ -5,6 +5,18 @@ net, one bit lane per pattern.  A single topological sweep therefore
 evaluates every pattern at once; CPython big-int bitwise ops make this fast
 enough to exhaustively simulate cones of ~20 inputs (2^20 lanes) in one
 pass, which is how the ATPG substrate enumerates exact failing sets.
+
+Two engines share the ``simulate_words``/``output_words`` signatures:
+
+* the **big-int** engine below — zero setup cost, best for tiny circuits
+  and one-shot sweeps (it remains the reference implementation);
+* the **compiled** engine (:mod:`repro.sim.compiled`) — levelizes the
+  circuit once into a flat NumPy program and amortizes that across
+  repeated sweeps (HD/OER campaigns, fault simulation, attacks).
+
+``simulate_words`` picks automatically by circuit/batch size; the
+``REPRO_SIM_ENGINE`` environment knob (``auto``/``compiled``/``bigint``)
+forces either engine.  Both produce bit-identical words.
 """
 
 from __future__ import annotations
@@ -14,6 +26,44 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate_types import GateType, evaluate_gate_words
+from repro.utils.env import env_choice
+
+#: "auto" thresholds: the compiled engine pays one levelization plus a
+#: few array allocations per call, so tiny circuits or narrow batches
+#: stay on the big-int path.  Tuned with ``benchmarks/bench_sim.py``.
+COMPILED_MIN_PATTERNS = 64
+COMPILED_MIN_GATES = 24
+
+
+def _sim_engine_knob() -> str:
+    return env_choice("REPRO_SIM_ENGINE", ("auto", "compiled", "bigint"), "auto")
+
+
+def compiled_engine_for(circuit: Circuit, num_patterns: int):
+    """The cached compiled engine for *circuit*, or ``None``.
+
+    ``None`` means the caller should stay on the big-int path: the knob
+    forces it, numpy is unavailable, or the sweep is too small to
+    amortize compilation.  Sequential circuits are never compiled (the
+    callers' explicit ``is_sequential`` errors stay authoritative).
+    """
+    if circuit.is_sequential:
+        return None
+    knob = _sim_engine_knob()
+    if knob == "bigint":
+        return None
+    if knob == "auto" and (
+        num_patterns < COMPILED_MIN_PATTERNS
+        or len(circuit.gates) < COMPILED_MIN_GATES
+    ):
+        return None
+    try:
+        from repro.sim.compiled import compile_circuit
+    except ImportError:
+        if knob == "compiled":
+            raise
+        return None
+    return compile_circuit(circuit)
 
 
 def mask_for(num_patterns: int) -> int:
@@ -87,7 +137,28 @@ def simulate_words(
     drivers — the mechanism used for stuck-at fault injection (a stuck net
     is overridden with the all-0/all-1 word) and for tying key inputs.
     Sequential circuits must be lowered via ``combinational_core`` first.
+
+    Dispatches between the big-int and compiled engines (see the module
+    docstring); results are bit-identical either way.
     """
+    if circuit.is_sequential:
+        raise ValueError(
+            "simulate_words handles combinational circuits; lower with "
+            "combinational_core() first"
+        )
+    engine = compiled_engine_for(circuit, num_patterns)
+    if engine is not None:
+        return engine.simulate(input_words, num_patterns, overrides)
+    return simulate_words_bigint(circuit, input_words, num_patterns, overrides)
+
+
+def simulate_words_bigint(
+    circuit: Circuit,
+    input_words: Mapping[str, int],
+    num_patterns: int,
+    overrides: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """The reference big-int engine (see :func:`simulate_words`)."""
     if circuit.is_sequential:
         raise ValueError(
             "simulate_words handles combinational circuits; lower with "
@@ -117,12 +188,22 @@ def simulate_patterns(
     patterns: Sequence[Sequence[int]],
     overrides: Mapping[str, int] | None = None,
 ) -> list[list[int]]:
-    """Row-per-pattern convenience wrapper; returns output rows."""
+    """Row-per-pattern convenience wrapper; returns output rows.
+
+    Lanes are extracted from each output word in one pass (binary
+    formatting of a big int is linear) instead of shifting the whole
+    word once per lane, which made wide batches quadratic in the
+    pattern count per output.
+    """
+    lanes = len(patterns)
     words = pack_patterns(patterns, circuit.inputs)
-    values = simulate_words(circuit, words, len(patterns), overrides=overrides)
-    rows: list[list[int]] = []
-    for lane in range(len(patterns)):
-        rows.append([(values[o] >> lane) & 1 for o in circuit.outputs])
+    values = simulate_words(circuit, words, lanes, overrides=overrides)
+    rows = [[0] * len(circuit.outputs) for _ in range(lanes)]
+    for column, out in enumerate(circuit.outputs):
+        bits = format(values[out], "b")[::-1]  # bits[lane] is lane's value
+        for lane, bit in enumerate(bits):
+            if bit == "1":
+                rows[lane][column] = 1
     return rows
 
 
@@ -133,6 +214,11 @@ def output_words(
     overrides: Mapping[str, int] | None = None,
 ) -> dict[str, int]:
     """Like :func:`simulate_words` but returns only primary-output words."""
+    engine = compiled_engine_for(circuit, num_patterns)
+    if engine is not None:
+        # Skip the full per-net big-int conversion; only output rows
+        # leave the array domain.
+        return engine.output_words(input_words, num_patterns, overrides)
     values = simulate_words(circuit, input_words, num_patterns, overrides=overrides)
     return {net: values[net] for net in circuit.outputs}
 
@@ -156,12 +242,10 @@ def toggle_activity(
     """
     rng = random.Random(seed)
     words = dict(inputs_words or random_words(circuit.inputs, num_patterns, rng))
-    values = simulate_words(circuit, words, num_patterns)
-    activity: dict[str, float] = {}
-    for net, word in values.items():
-        p = word.bit_count() / num_patterns
-        activity[net] = 2.0 * p * (1.0 - p)
-    return activity
+    probabilities = _net_one_probabilities(circuit, words, num_patterns)
+    return {
+        net: 2.0 * p * (1.0 - p) for net, p in probabilities.items()
+    }
 
 
 def signal_probabilities(
@@ -170,6 +254,24 @@ def signal_probabilities(
     """Per-net probability of logic 1 over random patterns."""
     rng = random.Random(seed)
     words = random_words(circuit.inputs, num_patterns, rng)
+    return _net_one_probabilities(circuit, words, num_patterns)
+
+
+def _net_one_probabilities(
+    circuit: Circuit, words: Mapping[str, int], num_patterns: int
+) -> dict[str, float]:
+    """Per-net signal-1 probability; popcounts stay in the array domain
+    on the compiled engine (no per-net big-int round trip)."""
+    engine = compiled_engine_for(circuit, num_patterns)
+    if engine is not None:
+        from repro.sim.compiled import popcount_rows
+
+        buf = engine.simulate_array(words, num_patterns)
+        counts = popcount_rows(buf)
+        return {
+            net: int(counts[slot]) / num_patterns
+            for net, slot in engine.index.items()
+        }
     values = simulate_words(circuit, words, num_patterns)
     return {net: word.bit_count() / num_patterns for net, word in values.items()}
 

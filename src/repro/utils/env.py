@@ -14,6 +14,7 @@ Knobs:
 * ``REPRO_SCALE=<f>``   — benchmark scale-factor override (``> 0``).
 * ``REPRO_CACHE_DIR``   — artifact-cache directory override.
 * ``REPRO_WORKERS``     — default worker count for the campaign runner.
+* ``REPRO_SIM_ENGINE``  — simulation engine (``auto``/``compiled``/``bigint``).
 """
 
 from __future__ import annotations
@@ -74,6 +75,21 @@ def env_int(name: str, default: int | None = None) -> int | None:
         return int(raw)
     except ValueError as exc:
         raise ValueError(f"{name}={raw!r} is not an integer") from exc
+
+
+def env_choice(
+    name: str, choices: tuple[str, ...], default: str
+) -> str:
+    """Parse an enumerated knob; unset or empty means *default*."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        raise ValueError(
+            f"{name}={raw!r} is not one of {', '.join(choices)}"
+        )
+    return value
 
 
 def env_cache_dir(name: str = "REPRO_CACHE_DIR") -> Path:
