@@ -67,6 +67,7 @@ __all__ = [
     "disk_cache",
     "lock_config",
     "get_artifacts",
+    "get_table3_row",
     "get_unprotected_layout",
     "table_benchmarks",
 ]
@@ -137,3 +138,22 @@ def table_benchmarks() -> tuple[str, ...]:
 def get_unprotected_layout(name: str):
     """Reference layout of the original core (for Fig. 5)."""
     return unprotected_layout(cell_spec(name), _DISK)
+
+
+def get_table3_row(name: str, scheme: str, key_bits: int, hd_patterns: int):
+    """One Table III cell through the runner's cached ``table3`` stage.
+
+    Bit-identical to the historical standalone computation (the stage
+    replicates it exactly); the cache makes the ISCAS prior-art grid a
+    one-time cost shared across harness reruns and processes.
+    """
+    from repro.runner.stages import table3_row
+
+    return table3_row(
+        name,
+        scheme,
+        seed=SEED,
+        key_bits=key_bits,
+        hd_patterns=hd_patterns,
+        cache=_DISK,
+    )

@@ -1,0 +1,188 @@
+"""FEOL feature extraction for candidate (source, sink) pairs.
+
+Both new attack engines — the min-cost network-flow matcher and the
+learned proximity scorer — consume the same candidate structure: for
+every broken sink pin, the K most plausible source stubs (one branch
+stub per candidate net, exactly like the greedy attack's generation),
+plus every TIE source for key pins (the attacker recognises key pins
+from the FEOL and knows only TIE cells drive them).
+
+Each pair carries a NumPy feature vector of FEOL-observable quantities
+only — positions, dangling-wire directions, breakage modes, cell types,
+fanout branch counts — never the ground-truth net identity.  Distances
+are normalised by the stub bounding-box diagonal so feature scales are
+comparable across floorplans of very different sizes (the learned
+scorer trains on small self-generated layouts and attacks big ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.hints import proximity_score
+from repro.phys.split import FeolView, SinkStub, SourceStub
+
+#: Column order of the feature matrix (kept in sync with _pair_features).
+FEATURE_NAMES: tuple[str, ...] = (
+    "dist",          # euclidean distance / span
+    "dx",            # |x_src - x_sink| / span
+    "dy",            # |y_src - y_sink| / span
+    "trunk_pair",    # both stubs are trunk-missing (axis 'x')
+    "row_aligned",   # trunk pair sharing a row (the strongest hint)
+    "mode_mismatch", # breakage modes disagree (extra BEOL jog needed)
+    "source_is_tie", # TIE-cell driver (recognisable in the FEOL)
+    "sink_is_key",   # key pin: pure via stack, no escape
+    "branch_count",  # log1p(#branch stubs of the candidate net)
+    "hand_score",    # the hand-crafted composite score / span
+)
+
+#: Row tolerance for trunk alignment; mirrors the hint module.
+_ALIGN_TOL_UM = 0.75
+
+
+@dataclass
+class CandidateSet:
+    """All scored candidate pairs of one FEOL view.
+
+    ``per_sink[i]`` lists indices into ``sources`` for ``sinks[i]``, in
+    ascending hand-score order; ``pairs`` flattens the same structure to
+    ``(P, 2)`` rows of ``(sink_index, source_index)``; ``features`` is
+    the aligned ``(P, len(FEATURE_NAMES))`` matrix.  ``labels`` (only
+    materialised for training views) marks pairs whose candidate net is
+    the true driver.
+    """
+
+    view: FeolView
+    sinks: list[SinkStub]
+    sources: list[SourceStub]
+    per_sink: list[list[int]]
+    pairs: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray | None = None
+    span: float = 1.0
+    _net_of_source: list[str] = field(default_factory=list)
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.pairs.shape[0])
+
+    def source_net(self, source_index: int) -> str:
+        return self._net_of_source[source_index]
+
+
+def coordinate_span(view: FeolView) -> float:
+    """Bounding-box diagonal of all stub endpoints (>= 1.0)."""
+    xs = [s.x for s in view.source_stubs] + [s.x for s in view.sink_stubs]
+    ys = [s.y for s in view.source_stubs] + [s.y for s in view.sink_stubs]
+    if not xs:
+        return 1.0
+    return max(1.0, math.hypot(max(xs) - min(xs), max(ys) - min(ys)))
+
+
+def candidate_sources(
+    view: FeolView, per_sink: int = 16
+) -> tuple[list[SinkStub], list[SourceStub], list[list[int]]]:
+    """The K best candidate sources per sink, hand-score ordered.
+
+    Generation matches the greedy proximity attack: one (best) branch
+    stub per candidate net, ties broken by stub id for determinism, and
+    every TIE source appended for key pins regardless of distance.
+    """
+    sinks = list(view.sink_stubs)
+    sources = list(view.source_stubs)
+    per: list[list[int]] = []
+    for sink in sinks:
+        scored = sorted(
+            (
+                (proximity_score(src, sink), src.stub_id, index)
+                for index, src in enumerate(sources)
+                if src.owner != sink.owner
+            ),
+        )
+        seen_nets: set[str] = set()
+        chosen: list[int] = []
+        for _score, _stub_id, index in scored:
+            net = sources[index].net
+            if net in seen_nets:
+                continue
+            seen_nets.add(net)
+            chosen.append(index)
+            if len(chosen) >= per_sink:
+                break
+        if not sink.has_escape:
+            for _score, _stub_id, index in scored:
+                src = sources[index]
+                if src.is_tie and src.net not in seen_nets:
+                    seen_nets.add(src.net)
+                    chosen.append(index)
+        per.append(chosen)
+    return sinks, sources, per
+
+
+def _pair_features(
+    source: SourceStub,
+    sink: SinkStub,
+    span: float,
+    branch_count: int,
+) -> tuple[float, ...]:
+    dx = abs(source.x - sink.x)
+    dy = abs(source.y - sink.y)
+    trunk_pair = source.trunk_axis == "x" and sink.trunk_axis == "x"
+    return (
+        math.hypot(dx, dy) / span,
+        dx / span,
+        dy / span,
+        1.0 if trunk_pair else 0.0,
+        1.0 if trunk_pair and dy <= _ALIGN_TOL_UM else 0.0,
+        1.0 if source.trunk_axis != sink.trunk_axis else 0.0,
+        1.0 if source.is_tie else 0.0,
+        0.0 if sink.has_escape else 1.0,
+        math.log1p(branch_count),
+        proximity_score(source, sink) / span,
+    )
+
+
+def build_candidates(
+    view: FeolView, per_sink: int = 16, with_labels: bool = False
+) -> CandidateSet:
+    """Assemble candidates + features (+ ground-truth labels) for *view*."""
+    sinks, sources, per = candidate_sources(view, per_sink=per_sink)
+    span = coordinate_span(view)
+    branches: dict[str, int] = {}
+    for src in sources:
+        branches[src.net] = branches.get(src.net, 0) + 1
+
+    pair_rows: list[tuple[int, int]] = []
+    feature_rows: list[tuple[float, ...]] = []
+    label_rows: list[float] = []
+    for sink_index, chosen in enumerate(per):
+        sink = sinks[sink_index]
+        for source_index in chosen:
+            source = sources[source_index]
+            pair_rows.append((sink_index, source_index))
+            feature_rows.append(
+                _pair_features(source, sink, span, branches[source.net])
+            )
+            if with_labels:
+                label_rows.append(1.0 if source.net == sink.net else 0.0)
+
+    width = len(FEATURE_NAMES)
+    pairs = np.array(pair_rows, dtype=np.intp).reshape(-1, 2)
+    features = np.array(feature_rows, dtype=np.float64).reshape(-1, width)
+    labels = (
+        np.array(label_rows, dtype=np.float64) if with_labels else None
+    )
+    return CandidateSet(
+        view=view,
+        sinks=sinks,
+        sources=sources,
+        per_sink=per,
+        pairs=pairs,
+        features=features,
+        labels=labels,
+        span=span,
+        _net_of_source=[s.net for s in sources],
+    )

@@ -1,0 +1,225 @@
+"""NumPy-only learned proximity scoring.
+
+The adversary of Li et al. ("Attacking Split Manufacturing from a Deep
+Learning Perspective", DAC'20) learns what a plausible BEOL connection
+looks like instead of hand-weighting hints.  This module reproduces
+that capability at the scale this repo needs with zero new
+dependencies: a logistic-regression scorer over the per-pair feature
+vectors of :mod:`repro.adversary.features`, trained by full-batch
+gradient descent on **self-generated labeled splits** — the attacker
+locks and lays out their own benchgen circuits (they know the defense
+pipeline under Kerckhoff), splits them, and reads off ground-truth
+pairings that are unknowable for the victim design but free for their
+own.
+
+Everything is deterministic: fixed seeds, zero-initialised weights,
+fixed epoch count — so a trained scorer is a pure value of its
+:class:`TrainConfig` and participates in the content-keyed artifact
+cache (campaign workers train once, share on disk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.adversary.features import FEATURE_NAMES, build_candidates
+
+#: In-process memo: one trained scorer per config per process.
+_MEMO: dict[str, "LearnedScorer"] = {}
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Everything that determines a trained scorer, and nothing else."""
+
+    seed: int = 2019
+    #: (inputs, outputs, gates) of each self-generated training design.
+    profiles: tuple[tuple[int, int, int], ...] = (
+        (10, 5, 80),
+        (12, 6, 120),
+        (14, 7, 170),
+    )
+    key_bits: int = 10
+    split_layer: int = 4
+    per_sink: int = 12
+    epochs: int = 300
+    learning_rate: float = 0.5
+    l2: float = 1e-4
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"stage": "adversary-scorer", **asdict(self)}
+
+
+@dataclass
+class LearnedScorer:
+    """A trained logistic model over the shared feature vector."""
+
+    weights: np.ndarray  # (F,)
+    bias: float
+    mean: np.ndarray  # (F,) feature standardisation
+    scale: np.ndarray  # (F,)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def probabilities(self, features: np.ndarray) -> np.ndarray:
+        """P(pair is a true connection) per feature row."""
+        if features.size == 0:
+            return np.zeros(features.shape[0], dtype=np.float64)
+        standardized = (features - self.mean) / self.scale
+        logits = standardized @ self.weights + self.bias
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def summary(self) -> dict[str, object]:
+        """Plain-value digest for diagnostics payloads."""
+        return {
+            **self.meta,
+            "weights": {
+                name: round(float(w), 4)
+                for name, w in zip(FEATURE_NAMES, self.weights)
+            },
+            "bias": round(float(self.bias), 4),
+        }
+
+
+def default_train_config() -> TrainConfig:
+    return TrainConfig()
+
+
+def training_set(config: TrainConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Feature/label matrices from self-generated labeled splits."""
+    from repro.benchgen import GeneratorConfig, generate_random_circuit
+    from repro.locking.atpg_lock import AtpgLockConfig, atpg_lock
+    from repro.phys.layout import build_locked_layout
+
+    blocks_x: list[np.ndarray] = []
+    blocks_y: list[np.ndarray] = []
+    for index, (inputs, outputs, gates) in enumerate(config.profiles):
+        generator = GeneratorConfig(
+            num_inputs=inputs, num_outputs=outputs, num_gates=gates
+        )
+        circuit = generate_random_circuit(
+            generator,
+            seed=config.seed + index,
+            name=f"adv_train_{index}",
+        )
+        locked, _report = atpg_lock(
+            circuit,
+            AtpgLockConfig(
+                key_bits=config.key_bits,
+                seed=config.seed + index,
+                run_lec=False,
+                max_candidates=60,
+            ),
+        )
+        layout = build_locked_layout(
+            locked,
+            split_layer=config.split_layer,
+            seed=config.seed + index,
+        )
+        view = layout.feol_view()
+        candidates = build_candidates(
+            view, per_sink=config.per_sink, with_labels=True
+        )
+        if candidates.num_pairs:
+            blocks_x.append(candidates.features)
+            blocks_y.append(candidates.labels)
+    if not blocks_x:
+        raise ValueError("training profiles produced no candidate pairs")
+    return np.concatenate(blocks_x), np.concatenate(blocks_y)
+
+
+def train_scorer(config: TrainConfig) -> LearnedScorer:
+    """Fit the logistic scorer on the config's self-generated splits.
+
+    Full-batch gradient descent with a positive-class weight (true
+    pairs are ~1-in-K among candidates) and L2 regularisation; no
+    stochasticity anywhere, so retraining reproduces bit-identical
+    weights.
+    """
+    features, labels = training_set(config)
+    mean = features.mean(axis=0)
+    scale = features.std(axis=0)
+    scale[scale < 1e-9] = 1.0
+    standardized = (features - mean) / scale
+
+    positives = float(labels.sum())
+    negatives = float(labels.size - positives)
+    pos_weight = negatives / max(1.0, positives)
+    sample_weight = np.where(labels > 0.5, pos_weight, 1.0)
+    sample_weight /= sample_weight.sum()
+
+    weights = np.zeros(standardized.shape[1], dtype=np.float64)
+    bias = 0.0
+    rate = config.learning_rate
+    for _epoch in range(config.epochs):
+        logits = standardized @ weights + bias
+        predictions = 1.0 / (1.0 + np.exp(-logits))
+        error = (predictions - labels) * sample_weight
+        grad_w = standardized.T @ error + config.l2 * weights
+        grad_b = float(error.sum())
+        weights -= rate * grad_w
+        bias -= rate * grad_b
+
+    logits = standardized @ weights + bias
+    predictions = 1.0 / (1.0 + np.exp(-logits))
+    eps = 1e-12
+    loss = float(
+        -(
+            sample_weight
+            * (
+                labels * np.log(predictions + eps)
+                + (1.0 - labels) * np.log(1.0 - predictions + eps)
+            )
+        ).sum()
+    )
+    # Ranking quality on the training pool: how often does a true pair
+    # out-score a false one (a cheap AUC estimate, exact via ranks).
+    order = np.argsort(predictions, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, labels.size + 1)
+    pos = labels > 0.5
+    auc = 0.5
+    if 0 < pos.sum() < labels.size:
+        auc = float(
+            (ranks[pos].sum() - pos.sum() * (pos.sum() + 1) / 2.0)
+            / (pos.sum() * (labels.size - pos.sum()))
+        )
+    return LearnedScorer(
+        weights=weights,
+        bias=bias,
+        mean=mean,
+        scale=scale,
+        meta={
+            "train_pairs": int(labels.size),
+            "train_positives": int(positives),
+            "train_loss": round(loss, 6),
+            "train_auc": round(auc, 4),
+            "epochs": config.epochs,
+        },
+    )
+
+
+def trained_scorer(
+    config: TrainConfig, cache: object | None = None
+) -> LearnedScorer:
+    """The (memoised, cache-persisted) scorer for *config*.
+
+    Per-process memo first; then the campaign artifact cache, so
+    parallel workers train once and share the weights on disk.
+    """
+    from repro.utils.artifact_cache import get_or_create, spec_key
+
+    payload: Mapping[str, Any] = config.to_payload()
+    memo_key = spec_key(payload)
+    if memo_key in _MEMO:
+        return _MEMO[memo_key]
+    scorer = get_or_create(
+        cache if hasattr(cache, "get_or_create") else None,
+        "scorer",
+        payload,
+        lambda: train_scorer(config),
+    )
+    _MEMO[memo_key] = scorer
+    return scorer

@@ -1,0 +1,255 @@
+"""Min-cost network-flow matching of broken FEOL connections.
+
+The greedy proximity attack commits the globally closest feasible pair
+first and never reconsiders; the network-flow adversary is strictly
+stronger on hint 1-2 information: it builds a bipartite flow network —
+driver nets with load capacities on one side, broken sink pins on the
+other, candidate edges weighted by proximity cost — and extracts the
+*globally* cheapest complete assignment (successive-shortest-path
+min-cost flow with Johnson potentials).  This is the classic
+network-flow formulation of split-manufacturing attacks (cf. Wang et
+al.'s proximity-attack family and the survey's network-flow matchers).
+
+Combinational-loop avoidance (hint 4) is not expressible as flow
+capacity, so it runs as a deterministic repair pass over the decoded
+matching: loop-closing edges are re-routed to the sink's next-cheapest
+loop-free candidate.
+
+The module is engine-agnostic on purpose: :func:`flow_assignment` takes
+any per-pair cost vector, so the learned scorer reuses the same
+globally-optimal matcher with model-derived costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.features import CandidateSet
+from repro.attacks.hints import creates_loop
+from repro.attacks.proximity import commit_edge, initial_reachability
+from repro.phys.split import FeolView
+
+#: Fixed-point scale for float costs; integer arc costs keep the
+#: shortest-path tie-breaking exact and platform-independent.
+COST_SCALE = 1024
+
+
+class MinCostFlow:
+    """Successive-shortest-path min-cost max-flow (integer costs)."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.graph: list[list[int]] = [[] for _ in range(num_nodes)]
+        self.to: list[int] = []
+        self.cap: list[int] = []
+        self.cost: list[int] = []
+
+    def add_edge(self, u: int, v: int, cap: int, cost: int) -> int:
+        """Add arc u->v; returns the arc index (reverse is index ^ 1)."""
+        index = len(self.to)
+        self.graph[u].append(index)
+        self.to.append(v)
+        self.cap.append(cap)
+        self.cost.append(cost)
+        self.graph[v].append(index + 1)
+        self.to.append(u)
+        self.cap.append(0)
+        self.cost.append(-cost)
+        return index
+
+    def solve(self, s: int, t: int, max_flow: int) -> tuple[int, int]:
+        """Push up to *max_flow* units; returns (flow, total_cost).
+
+        All arc costs are non-negative, so Dijkstra with potentials is
+        valid from the first iteration.
+        """
+        n = self.num_nodes
+        potential = [0] * n
+        flow = total_cost = 0
+        while flow < max_flow:
+            dist = [None] * n
+            parent_edge = [-1] * n
+            dist[s] = 0
+            heap: list[tuple[int, int]] = [(0, s)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if dist[u] is None or d > dist[u]:
+                    continue
+                for index in self.graph[u]:
+                    if self.cap[index] <= 0:
+                        continue
+                    v = self.to[index]
+                    nd = d + self.cost[index] + potential[u] - potential[v]
+                    if dist[v] is None or nd < dist[v]:
+                        dist[v] = nd
+                        parent_edge[v] = index
+                        heapq.heappush(heap, (nd, v))
+            if dist[t] is None:
+                break  # no augmenting path: capacity exhausted
+            for u in range(n):
+                if dist[u] is not None:
+                    potential[u] += dist[u]
+            # Bottleneck along the path (arc capacities here are >= 1).
+            push = max_flow - flow
+            v = t
+            while v != s:
+                index = parent_edge[v]
+                push = min(push, self.cap[index])
+                v = self.to[index ^ 1]
+            v = t
+            while v != s:
+                index = parent_edge[v]
+                self.cap[index] -= push
+                self.cap[index ^ 1] += push
+                total_cost += push * self.cost[index]
+                v = self.to[index ^ 1]
+            flow += push
+        return flow, total_cost
+
+
+@dataclass
+class FlowMatch:
+    """Decoded matching plus accounting for diagnostics."""
+
+    matched_net: list[str | None]  # per sink index
+    flow: int
+    cost: int
+    nodes: int
+    arcs: int
+
+
+def _match_nets(
+    candidates: CandidateSet,
+    costs: np.ndarray,
+    load_limit: int | None,
+) -> FlowMatch:
+    """Min-cost matching sink pin -> driver net over *candidates*."""
+    sinks = candidates.sinks
+    nets: list[str] = []
+    net_index: dict[str, int] = {}
+    net_is_tie: dict[str, bool] = {}
+    for src in candidates.sources:
+        if src.net not in net_index:
+            net_index[src.net] = len(nets)
+            nets.append(src.net)
+        net_is_tie[src.net] = net_is_tie.get(src.net, False) or src.is_tie
+
+    num_sinks = len(sinks)
+    num_nets = len(nets)
+    # Nodes: S, driver nets, sinks, T.
+    s_node = 0
+    t_node = 1 + num_nets + num_sinks
+    flow = MinCostFlow(t_node + 1)
+    for index, net in enumerate(nets):
+        unbounded = net_is_tie[net] or load_limit is None
+        capacity = num_sinks if unbounded else load_limit
+        flow.add_edge(s_node, 1 + index, capacity, 0)
+
+    # One arc per candidate pair: the best branch stub of each net was
+    # already selected during candidate generation.
+    arc_of_pair: dict[tuple[int, int], int] = {}
+    for row in range(candidates.num_pairs):
+        sink_i = int(candidates.pairs[row, 0])
+        src_i = int(candidates.pairs[row, 1])
+        net_i = net_index[candidates.source_net(src_i)]
+        key = (sink_i, net_i)
+        if key in arc_of_pair:
+            continue
+        cost = int(round(float(costs[row]) * COST_SCALE))
+        arc_of_pair[key] = flow.add_edge(
+            1 + net_i, 1 + num_nets + sink_i, 1, max(0, cost)
+        )
+    for sink_i in range(num_sinks):
+        flow.add_edge(1 + num_nets + sink_i, t_node, 1, 0)
+
+    pushed, total_cost = flow.solve(s_node, t_node, num_sinks)
+    matched: list[str | None] = [None] * num_sinks
+    for (sink_i, net_i), arc in arc_of_pair.items():
+        if flow.cap[arc] == 0:  # saturated candidate arc carries the unit
+            matched[sink_i] = nets[net_i]
+    return FlowMatch(
+        matched_net=matched,
+        flow=pushed,
+        cost=total_cost,
+        nodes=flow.num_nodes,
+        arcs=len(flow.to) // 2,
+    )
+
+
+def flow_assignment(
+    view: FeolView,
+    candidates: CandidateSet,
+    costs: np.ndarray,
+    load_limit: int | None = None,
+) -> tuple[dict[int, str], dict[str, object]]:
+    """Globally-optimal assignment under *costs*, loop-repaired.
+
+    Returns ``(assignment, diagnostics)`` where *assignment* maps sink
+    stub ids to net names, covering every sink with at least one
+    loop-free candidate.
+    """
+    match = _match_nets(candidates, costs, load_limit)
+    num_sinks = len(candidates.sinks)
+    source_of_net_for_sink: list[dict[str, int]] = [
+        {} for _ in range(num_sinks)
+    ]
+    order_for_sink: list[list[tuple[float, str, int]]] = [
+        [] for _ in range(num_sinks)
+    ]
+    for row in range(candidates.num_pairs):
+        sink_i = int(candidates.pairs[row, 0])
+        src_i = int(candidates.pairs[row, 1])
+        net = candidates.source_net(src_i)
+        source_of_net_for_sink[sink_i].setdefault(net, src_i)
+        order_for_sink[sink_i].append((float(costs[row]), net, src_i))
+    for ranked in order_for_sink:
+        ranked.sort()
+
+    reaches = initial_reachability(view)
+    assignment: dict[int, str] = {}
+    loop_repairs = 0
+    unmatched_fallbacks = 0
+    # Deterministic commit order: sink stub id.
+    commit_order = sorted(
+        range(len(candidates.sinks)),
+        key=lambda i: candidates.sinks[i].stub_id,
+    )
+    for sink_i in commit_order:
+        sink = candidates.sinks[sink_i]
+        committed = False
+        trial: list[tuple[str, int]] = []
+        net = match.matched_net[sink_i]
+        if net is not None:
+            trial.append((net, source_of_net_for_sink[sink_i][net]))
+        else:
+            unmatched_fallbacks += 1
+        for _cost, other_net, src_i in order_for_sink[sink_i]:
+            if net is not None and other_net == net:
+                continue
+            trial.append((other_net, src_i))
+        for position, (candidate_net, src_i) in enumerate(trial):
+            source = candidates.sources[src_i]
+            if creates_loop(reaches, source, sink):
+                continue
+            if position > 0 and net is not None:
+                loop_repairs += 1
+            assignment[sink.stub_id] = candidate_net
+            commit_edge(reaches, view, source, sink)
+            committed = True
+            break
+        if not committed and trial:
+            # Every candidate loops: geometric fallback inside
+            # rebuild_netlist takes over (assignment left empty).
+            loop_repairs += 1
+    diagnostics: dict[str, object] = {
+        "flow": match.flow,
+        "flow_cost": match.cost,
+        "flow_nodes": match.nodes,
+        "flow_arcs": match.arcs,
+        "loop_repairs": loop_repairs,
+        "unmatched": unmatched_fallbacks,
+    }
+    return assignment, diagnostics

@@ -1,0 +1,182 @@
+"""Composable threat-model scenarios.
+
+A :class:`Scenario` is a declarative description of one adversary: what
+they *know* (FEOL only; FEOL plus the physical-design hints 3-5; FEOL
+plus a functional oracle), what they *want* (recover the BEOL
+connections, the key bits, or both), and which :class:`~repro.adversary.
+engine.AttackEngine` realises the attempt.  Scenarios are frozen
+dataclasses of plain scalars, so they
+
+* pickle across campaign workers,
+* canonicalise into artifact-cache keys (any field change invalidates
+  the cached ``attack`` stage), and
+* round-trip through JSON for the ``python -m repro.runner attacks``
+  CLI.
+
+The named registry covers the threat models catalogued in the
+split-manufacturing survey that apply to an oracle-less FEOL adversary,
+plus the oracle-armed variant for completeness of the axis; campaigns
+reference scenarios by name and may sweep any subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any
+
+from repro.utils.env import env_int, env_name, env_positive_int
+
+# -- adversary knowledge levels ----------------------------------------
+KNOW_FEOL = "feol"  # the split view only (Kerckhoff baseline)
+KNOW_HINTS = "feol+hints"  # + load/loop/timing design-practice hints
+KNOW_ORACLE = "feol+oracle"  # + a functional oracle (working chip)
+KNOWLEDGE_LEVELS = (KNOW_FEOL, KNOW_HINTS, KNOW_ORACLE)
+
+# -- adversary objectives ----------------------------------------------
+OBJ_CONNECTIONS = "connections"  # recover the broken BEOL connections
+OBJ_KEY = "key"  # recover the key bits
+OBJ_BOTH = "both"
+OBJECTIVES = (OBJ_CONNECTIONS, OBJ_KEY, OBJ_BOTH)
+
+#: Default hypothesis budget for key-search objectives (number of
+#: candidate keys batched through the compiled simulator).
+DEFAULT_ATTACK_BUDGET = 256
+
+#: Default scenario seed when neither the scenario nor
+#: ``REPRO_ATTACK_SEED`` pins one (the repo-wide experiment seed).
+DEFAULT_ATTACK_SEED = 2019
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One composable threat model.
+
+    ``seed``/``budget`` of ``None`` mean "resolve at campaign-expansion
+    time" from the ``REPRO_ATTACK_SEED``/``REPRO_ATTACK_BUDGET`` knobs
+    (falling back to the defaults above) — the runner only ever caches
+    *resolved* scenarios, so env changes can never alias cache entries.
+    """
+
+    name: str
+    engine: str = "proximity"
+    knowledge: str = KNOW_HINTS
+    objective: str = OBJ_CONNECTIONS
+    seed: int | None = None
+    budget: int | None = None
+    postprocess: bool = True  # the paper's key-pin TIE reconnection
+
+    def __post_init__(self) -> None:
+        if self.knowledge not in KNOWLEDGE_LEVELS:
+            raise ValueError(
+                f"unknown knowledge level {self.knowledge!r}; expected one "
+                f"of {', '.join(KNOWLEDGE_LEVELS)}"
+            )
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; expected one of "
+                f"{', '.join(OBJECTIVES)}"
+            )
+
+    @property
+    def wants_key(self) -> bool:
+        return self.objective in (OBJ_KEY, OBJ_BOTH)
+
+    @property
+    def wants_connections(self) -> bool:
+        return self.objective in (OBJ_CONNECTIONS, OBJ_BOTH)
+
+    @property
+    def has_oracle(self) -> bool:
+        return self.knowledge == KNOW_ORACLE
+
+    @property
+    def has_hints(self) -> bool:
+        return self.knowledge in (KNOW_HINTS, KNOW_ORACLE)
+
+    def resolve(self) -> "Scenario":
+        """Pin ``seed``/``budget`` from the environment knobs.
+
+        Must be called before a scenario feeds a cache payload; the
+        resolved copy is a pure value with no residual env dependence.
+        """
+        seed = self.seed
+        if seed is None:
+            seed = env_int("REPRO_ATTACK_SEED", DEFAULT_ATTACK_SEED)
+        budget = self.budget
+        if budget is None:
+            budget = env_positive_int(
+                "REPRO_ATTACK_BUDGET", DEFAULT_ATTACK_BUDGET
+            )
+        return replace(self, seed=seed, budget=budget)
+
+    def to_payload(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "Scenario":
+        return Scenario(**payload)
+
+
+#: Named threat models (the CLI's vocabulary).  The two new engines run
+#: at both knowledge levels; ``random`` is the Theorem-1 floor every
+#: stronger adversary is compared against.
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario("proximity", engine="proximity", knowledge=KNOW_HINTS),
+        Scenario("proximity-bare", engine="proximity", knowledge=KNOW_FEOL),
+        Scenario("netflow", engine="netflow", knowledge=KNOW_HINTS),
+        Scenario("netflow-bare", engine="netflow", knowledge=KNOW_FEOL),
+        Scenario("learned", engine="learned", knowledge=KNOW_FEOL),
+        Scenario("learned-hints", engine="learned", knowledge=KNOW_HINTS),
+        Scenario("random", engine="random", knowledge=KNOW_FEOL),
+        Scenario("ideal", engine="ideal", knowledge=KNOW_HINTS),
+        Scenario(
+            "sat", engine="sat", knowledge=KNOW_FEOL, objective=OBJ_KEY
+        ),
+        Scenario(
+            "oracle-key",
+            engine="netflow",
+            knowledge=KNOW_ORACLE,
+            objective=OBJ_BOTH,
+        ),
+    )
+}
+
+#: The default CLI sweep: both new engines, the classic attack and the
+#: random floor they must beat.
+DEFAULT_SCENARIO_NAMES = ("netflow", "learned", "proximity", "random")
+
+
+def parse_scenario(name: str) -> Scenario:
+    """Look up a named scenario; raises ``KeyError`` with the vocabulary."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def default_scenario_names() -> tuple[str, ...]:
+    """The CLI default, narrowed by ``REPRO_ATTACK_ENGINE`` when set.
+
+    The knob selects the subset of default scenarios running a single
+    engine (plus the ``random`` floor, which comparisons need); unknown
+    engine names are rejected loudly.
+    """
+    from repro.adversary.engine import engine_names
+
+    engine = env_name("REPRO_ATTACK_ENGINE", engine_names())
+    if engine is None:
+        return DEFAULT_SCENARIO_NAMES
+    chosen = tuple(
+        name
+        for name in sorted(SCENARIOS)
+        if SCENARIOS[name].engine == engine
+        and not SCENARIOS[name].has_oracle
+    )
+    if "random" not in chosen:
+        chosen = chosen + ("random",)
+    return chosen

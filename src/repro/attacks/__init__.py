@@ -6,7 +6,11 @@ from repro.attacks.postprocess import reconnect_key_gates_to_ties
 from repro.attacks.proximity import ProximityAttackConfig, proximity_attack
 from repro.attacks.random_guess import random_guess_attack
 from repro.attacks.result import AttackResult, rebuild_netlist
-from repro.attacks.sat_attack import SatFutilityReport, demonstrate_sat_futility
+from repro.attacks.sat_attack import (
+    SatFutilityReport,
+    demonstrate_sat_futility,
+    sat_futility_attack,
+)
 
 __all__ = [
     "AttackResult",
@@ -22,4 +26,5 @@ __all__ = [
     "random_key_guess",
     "rebuild_netlist",
     "reconnect_key_gates_to_ties",
+    "sat_futility_attack",
 ]

@@ -27,7 +27,10 @@ def ideal_attack(view: FeolView, seed: int = 0) -> AttackResult:
             assignment[stub.stub_id] = stub.net  # ground truth for regular
         else:
             assignment[stub.stub_id] = rng.choice(tie_nets)
-    result = AttackResult(view, assignment, strategy="ideal-proximity")
+    result = AttackResult(
+        view, assignment, strategy="ideal-proximity", engine="ideal"
+    )
+    result.diagnostics["seed"] = seed
     result.recovered = rebuild_netlist(
         view, assignment, f"{view.circuit_name}_ideal"
     )

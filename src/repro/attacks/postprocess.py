@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 
-from repro.attacks.result import AttackResult, rebuild_netlist
+from repro.attacks.result import AttackResult
 
 
 def reconnect_key_gates_to_ties(
@@ -36,14 +36,10 @@ def reconnect_key_gates_to_ties(
             continue  # already on a TIE cell: keep as is
         improved[stub.stub_id] = rng.choice(tie_nets)
         moved += 1
-    out = AttackResult(
-        view,
-        improved,
+    out = result.derived(
+        assignment=improved,
         strategy=f"{result.strategy}+key-postprocess",
+        netlist_name=f"{view.circuit_name}_recovered_pp",
     )
-    out.diagnostics = dict(result.diagnostics)
     out.diagnostics["key_pins_reconnected"] = moved
-    out.recovered = rebuild_netlist(
-        view, improved, f"{view.circuit_name}_recovered_pp"
-    )
     return out

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.attacks.hints import (
     build_context,
@@ -90,7 +90,7 @@ def proximity_attack(
     sink_by_id = {s.stub_id: s for s in sinks}
     assignment: dict[int, str] = {}
     load: dict[str, int] = {}
-    reaches = _initial_reachability(view)
+    reaches = initial_reachability(view)
     rejected = {"loop": 0, "timing": 0, "load": 0}
 
     while heap:
@@ -115,7 +115,7 @@ def proximity_attack(
             continue
         assignment[sink_id] = src_net
         load[src_net] = load.get(src_net, 0) + 1
-        _commit_edge(reaches, view, source, sink)
+        commit_edge(reaches, view, source, sink)
 
     # Any sink left (all its candidates rejected): nearest non-looping
     # source wins, other constraints relaxed — the attacker must produce a
@@ -131,12 +131,14 @@ def proximity_attack(
             if creates_loop(reaches, source, sink):
                 continue
             assignment[sink.stub_id] = source.net
-            _commit_edge(reaches, view, source, sink)
+            commit_edge(reaches, view, source, sink)
             break
 
-    result = AttackResult(view, assignment, strategy="proximity")
+    result = AttackResult(
+        view, assignment, strategy="proximity", engine="proximity"
+    )
     result.diagnostics["rejected"] = rejected
-    result.diagnostics["config"] = config
+    result.diagnostics["config"] = asdict(config)
     result.recovered = rebuild_netlist(
         view, assignment, f"{view.circuit_name}_recovered"
     )
@@ -144,7 +146,7 @@ def proximity_attack(
     return result
 
 
-def _initial_reachability(view: FeolView) -> dict[str, set[str]]:
+def initial_reachability(view: FeolView) -> dict[str, set[str]]:
     """gate -> gates reachable from it through FEOL-visible edges.
 
     Used by the loop hint; updated incrementally as edges are committed.
@@ -167,7 +169,7 @@ def _initial_reachability(view: FeolView) -> dict[str, set[str]]:
     return reaches
 
 
-def _commit_edge(
+def commit_edge(
     reaches: dict[str, set[str]], view: FeolView, source, sink
 ) -> None:
     """Record source -> sink in the incremental reachability relation."""

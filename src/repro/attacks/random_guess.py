@@ -28,7 +28,10 @@ def random_guess_attack(view: FeolView, seed: int = 0) -> AttackResult:
             assignment[stub.stub_id] = rng.choice(regular_nets)
         elif tie_nets:
             assignment[stub.stub_id] = rng.choice(tie_nets)
-    result = AttackResult(view, assignment, strategy="random-guess")
+    result = AttackResult(
+        view, assignment, strategy="random-guess", engine="random"
+    )
+    result.diagnostics["seed"] = seed
     result.recovered = rebuild_netlist(
         view, assignment, f"{view.circuit_name}_randomguess"
     )

@@ -1,4 +1,18 @@
-"""Common result model for all attacks on split layouts."""
+"""Common result model shared by every attack engine.
+
+One :class:`AttackResult` dataclass covers all engines — the greedy
+proximity attack, the min-cost network-flow matcher, the learned
+scorer, random guessing, the ideal attacker and the oracle-less SAT
+probe — so metrics (:mod:`repro.metrics.ccr`, ``pnr``, ``hd_oer``) and
+the runner's cached ``attack`` stage consume one shape.
+
+The result is **artifact-cache friendly**: every field pickles cleanly
+(``recovered`` drops its derived topological/level/compile caches via
+:class:`~repro.netlist.circuit.Circuit` pickling), and ``diagnostics``
+holds only plain values (dicts/lists/scalars — attack configs are
+stored as dicts, never as live config objects), so cached bytes are a
+stable function of the producing spec.
+"""
 
 from __future__ import annotations
 
@@ -15,16 +29,57 @@ class AttackResult:
     ``assignment`` maps every broken sink-stub id to the *net name* of the
     source the attacker connected it to.  ``recovered`` is the netlist the
     attacker would hand to a fab — broken pins wired per the assignment.
+    ``strategy`` is the human-readable pipeline label (postprocessing
+    appends to it); ``engine`` is the registry name of the producing
+    engine.  ``key_guess`` carries the key-bit vector the attacker would
+    commit to, when the engine forms one.
     """
 
     view: FeolView
     assignment: dict[int, str] = field(default_factory=dict)
     recovered: Circuit | None = None
     strategy: str = "unspecified"
+    engine: str = "unspecified"
+    key_guess: tuple[int, ...] | None = None
     diagnostics: dict[str, object] = field(default_factory=dict)
 
     def assigned_net(self, stub_id: int) -> str | None:
         return self.assignment.get(stub_id)
+
+    def derived(
+        self,
+        assignment: dict[int, str] | None = None,
+        strategy: str | None = None,
+        netlist_name: str | None = None,
+    ) -> "AttackResult":
+        """A follow-up result on the same view (post-processing steps).
+
+        Diagnostics are copied (never shared) so pipeline stages can
+        annotate without mutating their input; the recovered netlist is
+        rebuilt when a new assignment is supplied.
+        """
+        new_assignment = (
+            dict(self.assignment) if assignment is None else assignment
+        )
+        out = AttackResult(
+            self.view,
+            new_assignment,
+            strategy=strategy or self.strategy,
+            engine=self.engine,
+            key_guess=self.key_guess,
+            diagnostics=dict(self.diagnostics),
+        )
+        if assignment is None:
+            out.recovered = self.recovered
+            if netlist_name is not None and out.recovered is not None:
+                out.recovered = out.recovered.copy(netlist_name)
+        else:
+            out.recovered = rebuild_netlist(
+                self.view,
+                new_assignment,
+                netlist_name or f"{self.view.circuit_name}_recovered",
+            )
+        return out
 
 
 def rebuild_netlist(view: FeolView, assignment: dict[int, str], name: str) -> Circuit:

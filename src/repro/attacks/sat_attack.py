@@ -17,9 +17,12 @@ under each of them, i.e. the FEOL alone constrains nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import asdict, dataclass
 
+from repro.attacks.result import AttackResult
 from repro.locking.key import LockedCircuit
+from repro.phys.split import FeolView
 from repro.sat.solver import solve_cnf
 from repro.sat.tseitin import encode_circuit
 from repro.utils.rng import rng_for
@@ -83,3 +86,37 @@ def demonstrate_sat_futility(
         keys_consistent=consistent,
         distinguishing_found=False,
     )
+
+
+def sat_futility_attack(
+    view: FeolView,
+    locked: LockedCircuit,
+    sample_keys: int = 16,
+    seed: int = 2019,
+) -> AttackResult:
+    """The SAT attacker's best effort, on the shared result model.
+
+    The probe shows the FEOL constrains no key, so the attacker's
+    commit is indistinguishable from random guessing: every key pin is
+    wired to a uniformly random TIE cell, regular pins to their nearest
+    source (SAT offers nothing beyond the geometric fallback), and the
+    key guess is drawn uniformly.  The futility evidence rides along in
+    ``diagnostics`` so the scenario pipeline can report it.
+    """
+    from repro.attacks.random_guess import random_guess_attack
+
+    report = demonstrate_sat_futility(
+        locked, sample_keys=sample_keys, seed=seed
+    )
+    rng = random.Random(seed)
+    base = random_guess_attack(view, seed=seed)
+    result = base.derived(
+        strategy="sat-futility",
+        netlist_name=f"{view.circuit_name}_sat",
+    )
+    result.engine = "sat"
+    result.key_guess = tuple(
+        rng.randrange(2) for _ in range(locked.key_length)
+    )
+    result.diagnostics["sat_futility"] = asdict(report)
+    return result

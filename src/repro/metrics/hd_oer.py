@@ -13,7 +13,7 @@ default to a scaled count and accept the full budget).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.netlist.circuit import Circuit
 from repro.sim.bitparallel import (
@@ -30,11 +30,18 @@ DEFAULT_HD_PATTERNS = 20_000
 
 @dataclass
 class HdOerReport:
-    """HD and OER in percent, plus the sample size used."""
+    """HD and OER in percent, plus the sample size used.
+
+    ``engine`` records which simulation engine actually computed the
+    report (``compiled``/``bigint``) — excluded from equality, since
+    the numbers are bit-identical either way and the differential
+    suites compare reports across engines.
+    """
 
     hd_percent: float
     oer_percent: float
     patterns: int
+    engine: str = field(default="", compare=False)
 
 
 def compute_hd_oer(
@@ -89,7 +96,7 @@ def compute_hd_oer(
 
     hd = 100.0 * differing_bits / total_bits if total_bits else 0.0
     oer = 100.0 * erroneous_patterns / total_patterns if total_patterns else 0.0
-    return HdOerReport(hd, oer, total_patterns)
+    return HdOerReport(hd, oer, total_patterns, engine="bigint")
 
 
 #: Chunks fused into one compiled sweep.  The RNG stream stays chunked
@@ -147,4 +154,4 @@ def _compute_hd_oer_compiled(
     total_bits = total_patterns * num_outputs
     hd = 100.0 * differing_bits / total_bits if total_bits else 0.0
     oer = 100.0 * erroneous_patterns / total_patterns if total_patterns else 0.0
-    return HdOerReport(hd, oer, total_patterns)
+    return HdOerReport(hd, oer, total_patterns, engine="compiled")

@@ -11,23 +11,37 @@ The subsystem behind every table/figure harness and the
 """
 
 from repro.runner.engine import (
+    AttackCampaignResult,
+    AttackCellResult,
     CampaignResult,
     CellResult,
     default_workers,
+    execute_attack_cell,
     execute_cell,
+    run_attack_campaign,
     run_campaign,
     run_cost_campaign,
 )
 from repro.runner.profiles import (
     ExperimentProfile,
+    attack_smoke_campaign,
     current_profile,
     prorated_key_bits,
     smoke_campaign,
 )
-from repro.runner.spec import CampaignSpec, CellSpec, expand, parse_benchmark
+from repro.runner.spec import (
+    AttackCampaignSpec,
+    AttackCellSpec,
+    CampaignSpec,
+    CellSpec,
+    expand,
+    expand_attack,
+    parse_benchmark,
+)
 from repro.runner.stages import (
     BenchRun,
     LockedDesign,
+    cell_attack,
     cell_layout,
     cell_run,
     layout_cost_runs,
@@ -36,6 +50,10 @@ from repro.runner.stages import (
 )
 
 __all__ = [
+    "AttackCampaignResult",
+    "AttackCampaignSpec",
+    "AttackCellResult",
+    "AttackCellSpec",
     "BenchRun",
     "CampaignResult",
     "CampaignSpec",
@@ -43,16 +61,21 @@ __all__ = [
     "CellSpec",
     "ExperimentProfile",
     "LockedDesign",
+    "attack_smoke_campaign",
+    "cell_attack",
     "cell_layout",
     "cell_run",
     "current_profile",
     "default_workers",
+    "execute_attack_cell",
     "execute_cell",
     "expand",
+    "expand_attack",
     "layout_cost_runs",
     "locked_design",
     "parse_benchmark",
     "prorated_key_bits",
+    "run_attack_campaign",
     "run_campaign",
     "run_cost_campaign",
     "smoke_campaign",

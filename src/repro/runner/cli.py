@@ -8,6 +8,10 @@ Subcommands:
 * ``sweep``  — a custom campaign: any benchmarks (ISCAS-85, ITC'99 or
   ``random:i<I>-o<O>-g<G>[-d<D>]`` descriptors) crossed with split
   layers and key sizes, optionally dumped to JSON;
+* ``attacks`` — an adversary-scenario campaign: named threat models
+  (``netflow``, ``learned``, ``proximity``, ``oracle-key``, ...)
+  crossed with benchmarks, split layers and key sizes; ``--smoke``
+  runs the CI grid and checks the new engines beat the random floor;
 * ``smoke``  — one tiny end-to-end cell (the CI smoke job);
 * ``cache``  — artifact-cache statistics / ``--clear``.
 
@@ -27,18 +31,22 @@ import sys
 from dataclasses import asdict
 from typing import Sequence
 
+from repro.adversary.evaluate import grid_verdict
+from repro.adversary.scenario import default_scenario_names
 from repro.runner.engine import (
     CampaignResult,
+    run_attack_campaign,
     run_campaign,
     run_cost_campaign,
 )
 from repro.runner.paper_data import PAPER_FIG5, PAPER_TABLE1, PAPER_TABLE2
 from repro.runner.profiles import (
+    attack_smoke_campaign,
     current_profile,
     prorated_key_bits,
     smoke_campaign,
 )
-from repro.runner.spec import CampaignSpec, CellSpec
+from repro.runner.spec import AttackCampaignSpec, CampaignSpec, CellSpec
 from repro.utils.artifact_cache import ArtifactCache
 from repro.utils.tables import paper_vs_measured, render_table
 
@@ -226,6 +234,118 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attack_table(result) -> str:
+    header = [
+        "cell",
+        "scenario",
+        "reg CCR",
+        "key log",
+        "key phy",
+        "HD %",
+        "OER %",
+        "key acc",
+        "secs",
+    ]
+    body = []
+    for r in result.cells:
+        outcome = r.outcome
+        body.append(
+            [
+                r.cell.cell.cell_id,
+                outcome.scenario.name,
+                f"{outcome.ccr.regular_ccr:.1f}",
+                f"{outcome.ccr.key_logical_ccr:.1f}",
+                f"{outcome.ccr.key_physical_ccr:.1f}",
+                f"{outcome.hd_oer.hd_percent:.1f}" if outcome.hd_oer else "-",
+                f"{outcome.hd_oer.oer_percent:.1f}" if outcome.hd_oer else "-",
+                f"{outcome.key_accuracy:.2f}"
+                if outcome.key_accuracy is not None
+                else "-",
+                f"{r.seconds:.1f}",
+            ]
+        )
+    return render_table(
+        "Adversary scenario campaign",
+        header,
+        body,
+        note="reg CCR vs the random floor is the leakage signal; "
+        "key CCR at ~50/0 is the paper's security claim",
+    )
+
+
+def _smoke_verdict(result) -> tuple[bool, list[str]]:
+    """The shared smoke acceptance over this campaign's outcomes."""
+    return grid_verdict(result.outcomes())
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    if args.smoke:
+        spec = attack_smoke_campaign()
+    else:
+        if not args.benchmarks:
+            print(
+                "error: attacks needs --benchmarks (or --smoke)",
+                file=sys.stderr,
+            )
+            return 2
+        spec = AttackCampaignSpec(
+            benchmarks=tuple(args.benchmarks.split(",")),
+            scenarios=tuple(args.scenarios.split(","))
+            if args.scenarios
+            else default_scenario_names(),
+            split_layers=tuple(int(s) for s in args.splits.split(",")),
+            key_bits=tuple(int(k) for k in args.key_bits.split(",")),
+            seed=args.seed,
+            scale=args.scale,
+            hd_patterns=args.hd_patterns,
+        )
+    result = run_attack_campaign(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    stats = result.cache_stats()
+    print(
+        f"[runner] {len(result.cells)} attack cells in "
+        f"{result.wall_seconds:.1f}s (cache: {stats.hits} hits, "
+        f"{stats.misses} misses)",
+        file=sys.stderr,
+    )
+    print(_attack_table(result))
+    if args.json:
+        payload = [
+            {
+                "cell": r.cell.to_payload(),
+                "ccr": asdict(r.outcome.ccr),
+                "pnr": asdict(r.outcome.pnr),
+                "hd_oer": asdict(r.outcome.hd_oer)
+                if r.outcome.hd_oer
+                else None,
+                "key_accuracy": r.outcome.key_accuracy,
+                "hypotheses": r.outcome.hypotheses,
+                "sim_engine": r.outcome.sim_engine,
+                "seconds": r.seconds,
+            }
+            for r in result.cells
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[runner] wrote {args.json}", file=sys.stderr)
+    if args.smoke:
+        ok, problems = _smoke_verdict(result)
+        for line in problems:
+            print(f"[smoke] FAIL {line}", file=sys.stderr)
+        print(
+            "[smoke] new engines beat the random floor on every cell"
+            if ok
+            else "[smoke] acceptance FAILED",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
+    return 0
+
+
 def _cmd_smoke(args: argparse.Namespace) -> int:
     result = _campaign(args, smoke_campaign())
     run = result.cells[0].run
@@ -302,6 +422,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--hd-patterns", type=int, default=16_384)
     sweep.add_argument("--json", default=None, help="dump results to this path")
     sweep.set_defaults(func=_cmd_sweep)
+
+    attacks = sub.add_parser(
+        name="attacks",
+        help="run an adversary-scenario campaign (threat-model grid)",
+    )
+    _add_common(attacks)
+    attacks.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI smoke grid and verify the new engines beat the "
+        "random floor on every cell",
+    )
+    attacks.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark names/descriptors",
+    )
+    attacks.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: "
+        "netflow,learned,proximity,random or REPRO_ATTACK_ENGINE)",
+    )
+    attacks.add_argument("--splits", default="4", help="comma-separated layers")
+    attacks.add_argument("--key-bits", default="128", help="comma-separated sizes")
+    attacks.add_argument("--seed", type=int, default=2019)
+    attacks.add_argument("--scale", type=float, default=None)
+    attacks.add_argument("--hd-patterns", type=int, default=16_384)
+    attacks.add_argument("--json", default=None, help="dump results to this path")
+    attacks.set_defaults(func=_cmd_attacks)
 
     cache = sub.add_parser(name="cache", help="artifact-cache stats / clear")
     cache.add_argument("--cache-dir", default=None)

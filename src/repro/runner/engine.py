@@ -30,9 +30,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.runner.spec import CampaignSpec, CellSpec, expand
+from repro.adversary.evaluate import AttackOutcome
+from repro.runner.spec import (
+    AttackCampaignSpec,
+    AttackCellSpec,
+    CampaignSpec,
+    CellSpec,
+    expand,
+    expand_attack,
+)
 from repro.runner.stages import (
     BenchRun,
+    cell_attack,
     cell_layout,
     cell_run,
     layout_cost_runs,
@@ -63,6 +72,44 @@ class CampaignResult:
         """Metrics keyed by (benchmark, split_layer, key_bits)."""
         return {
             (r.cell.benchmark, r.cell.split_layer, r.cell.key_bits): r.run
+            for r in self.cells
+        }
+
+    def cache_stats(self) -> CacheStats:
+        total = CacheStats()
+        for result in self.cells:
+            total.merge(result.cache)
+        return total
+
+
+@dataclass
+class AttackCellResult:
+    """One executed attack cell: spec, outcome, execution accounting."""
+
+    cell: AttackCellSpec
+    outcome: AttackOutcome
+    seconds: float
+    cache: CacheStats
+
+
+@dataclass
+class AttackCampaignResult:
+    """All attack cells of one scenario campaign, in spec order."""
+
+    cells: list[AttackCellResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def outcomes(
+        self,
+    ) -> dict[tuple[str, int, int, str], AttackOutcome]:
+        """Keyed by (benchmark, split_layer, key_bits, scenario)."""
+        return {
+            (
+                r.cell.cell.benchmark,
+                r.cell.cell.split_layer,
+                r.cell.cell.key_bits,
+                r.cell.scenario.name,
+            ): r.outcome
             for r in self.cells
         }
 
@@ -117,6 +164,23 @@ def execute_cost_cell(
     return layout_cost_runs(cell, cache, split_layers=split_layers)
 
 
+def execute_attack_cell(
+    acell: AttackCellSpec,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> AttackCellResult:
+    """Run one attack cell end to end (module-level: picklable)."""
+    cache = _open_cache(cache_dir, use_cache)
+    start = time.perf_counter()
+    outcome = cell_attack(acell, cache)
+    return AttackCellResult(
+        cell=acell,
+        outcome=outcome,
+        seconds=time.perf_counter() - start,
+        cache=cache.stats if cache is not None else CacheStats(),
+    )
+
+
 def warm_cell(
     cell: CellSpec,
     cache_dir: str | Path | None = None,
@@ -161,6 +225,23 @@ def run_campaign(
     start = time.perf_counter()
     results = _map_cells(execute_cell, cells, workers, cache_dir, use_cache)
     return CampaignResult(
+        cells=results, wall_seconds=time.perf_counter() - start
+    )
+
+
+def run_attack_campaign(
+    spec: AttackCampaignSpec | Iterable[AttackCellSpec],
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> AttackCampaignResult:
+    """Execute every scenario cell of *spec*, cell-parallel and cached."""
+    cells = expand_attack(spec)
+    start = time.perf_counter()
+    results = _map_cells(
+        execute_attack_cell, cells, workers, cache_dir, use_cache
+    )
+    return AttackCampaignResult(
         cells=results, wall_seconds=time.perf_counter() - start
     )
 

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.adversary.scenario import default_scenario_names
 from repro.benchgen import TABLE_I_BENCHMARKS, profile
-from repro.runner.spec import CampaignSpec, DEFAULT_SEED
+from repro.runner.spec import AttackCampaignSpec, CampaignSpec, DEFAULT_SEED
 from repro.utils.env import env_flag, env_scale
 
 
@@ -77,6 +78,28 @@ def current_profile() -> ExperimentProfile:
 def smoke_campaign() -> CampaignSpec:
     return CampaignSpec(
         benchmarks=("b14",),
+        split_layers=(4,),
+        key_bits=(16,),
+        seed=DEFAULT_SEED,
+        scale=0.03,
+        hd_patterns=2_048,
+        max_candidates=80,
+    )
+
+
+#: The ``attacks --smoke`` grid: two small benchmarks (a scaled ITC'99
+#: profile and a random-logic descriptor the scale knob cannot shrink)
+#: crossed with the default scenario set plus the oracle-armed key
+#: search (so the batched ``simulate_batch_array`` hypothesis path runs
+#: in CI) — every engine exercised cold in about a minute, and the new
+#: engines' CCR checked against the random floor per benchmark.
+def attack_smoke_campaign() -> AttackCampaignSpec:
+    scenarios = default_scenario_names()
+    if "oracle-key" not in scenarios:
+        scenarios = scenarios + ("oracle-key",)
+    return AttackCampaignSpec(
+        benchmarks=("b14", "random:i14-o8-g200"),
+        scenarios=scenarios,
         split_layers=(4,),
         key_bits=(16,),
         seed=DEFAULT_SEED,

@@ -24,6 +24,7 @@ import re
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Iterable
 
+from repro.adversary.scenario import Scenario, parse_scenario
 from repro.attacks.proximity import ProximityAttackConfig
 from repro.benchgen import GeneratorConfig, profile
 from repro.locking.atpg_lock import AtpgLockConfig
@@ -181,5 +182,123 @@ def expand(
 ) -> tuple[CellSpec, ...]:
     """Normalise a spec-or-cell-list argument to a tuple of cells."""
     if isinstance(spec, CampaignSpec):
+        return spec.cells()
+    return tuple(spec)
+
+
+# ---------------------------------------------------------------------------
+# Adversary-scenario campaigns (the cached ``attack`` stage's grid axis)
+
+
+@dataclass(frozen=True)
+class AttackCellSpec:
+    """One (experiment cell, threat-model scenario) attack cell.
+
+    The scenario must be *resolved* (concrete seed/budget) before the
+    cell feeds the artifact cache; :meth:`AttackCampaignSpec.cells`
+    resolves at expansion time so env-knob changes re-key instead of
+    aliasing.
+    """
+
+    cell: CellSpec
+    scenario: Scenario
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable identity, e.g. ``b14/M4/k128/netflow``."""
+        return f"{self.cell.cell_id}/{self.scenario.name}"
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "cell": self.cell.to_payload(),
+            "scenario": self.scenario.to_payload(),
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "AttackCellSpec":
+        return AttackCellSpec(
+            cell=CellSpec.from_payload(payload["cell"]),
+            scenario=Scenario.from_payload(payload["scenario"]),
+        )
+
+
+@dataclass(frozen=True)
+class AttackCampaignSpec:
+    """A threat-model grid: scenarios x benchmarks x splits x key sizes.
+
+    Scenarios are referenced by registry name (see
+    :data:`repro.adversary.scenario.SCENARIOS`); the underlying
+    lock/layout cells are shared with the classic campaigns, so an
+    attack sweep over a grid that was already run only computes the new
+    ``attack`` stage.
+    """
+
+    benchmarks: tuple[str, ...]
+    scenarios: tuple[str, ...] = ("netflow", "learned", "random")
+    split_layers: tuple[int, ...] = (4,)
+    key_bits: tuple[int, ...] = (128,)
+    seed: int = DEFAULT_SEED
+    scale: float | None = None
+    hd_patterns: int = 16_384
+    hd_seed: int = DEFAULT_HD_SEED
+    max_candidates: int = 250
+    utilization: float = 0.70
+    postprocess_seed: int = DEFAULT_POSTPROCESS_SEED
+
+    def __post_init__(self) -> None:
+        for name in self.benchmarks:
+            parse_benchmark(name)
+        for name in self.scenarios:
+            parse_scenario(name)
+        if not self.benchmarks:
+            raise ValueError("attack campaign needs at least one benchmark")
+        if not self.scenarios:
+            raise ValueError("attack campaign needs at least one scenario")
+        if not self.split_layers or not self.key_bits:
+            raise ValueError("attack campaign needs split layers and key sizes")
+
+    def base_campaign(self) -> CampaignSpec:
+        """The classic campaign spec sharing this grid's cells."""
+        return CampaignSpec(
+            benchmarks=self.benchmarks,
+            split_layers=self.split_layers,
+            key_bits=self.key_bits,
+            seed=self.seed,
+            scale=self.scale,
+            hd_patterns=self.hd_patterns,
+            hd_seed=self.hd_seed,
+            max_candidates=self.max_candidates,
+            utilization=self.utilization,
+            postprocess_seed=self.postprocess_seed,
+        )
+
+    def cells(self) -> tuple[AttackCellSpec, ...]:
+        """Expand the grid; scenarios vary fastest so sibling scenario
+        cells of one layout land near each other in the schedule and
+        share their lock/layout artifacts early."""
+        base = self.base_campaign().cells()
+        return tuple(
+            AttackCellSpec(cell=cell, scenario=parse_scenario(name).resolve())
+            for cell in base
+            for name in self.scenarios
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "AttackCampaignSpec":
+        data = dict(payload)
+        for key in ("benchmarks", "scenarios", "split_layers", "key_bits"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return AttackCampaignSpec(**data)
+
+
+def expand_attack(
+    spec: AttackCampaignSpec | Iterable[AttackCellSpec],
+) -> tuple[AttackCellSpec, ...]:
+    """Normalise to a tuple of attack cells."""
+    if isinstance(spec, AttackCampaignSpec):
         return spec.cells()
     return tuple(spec)

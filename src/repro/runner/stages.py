@@ -1,11 +1,13 @@
 """Pure, cacheable pipeline stages of one campaign cell.
 
-The cell pipeline factors into three heavyweight stages —
+The cell pipeline factors into staged, individually-cached pieces —
 
 * **lock**    — benchmark generation + ATPG locking (shared by every
   split layer and attack config of a benchmark),
 * **layout**  — the secure split layout (shared by every attack config),
 * **run**     — proximity attack + post-processing + CCR/HD/OER,
+* **attack**  — one adversary scenario mounted on the split layout
+  (shared lock/layout artifacts; one cache entry per scenario),
 
 — each a deterministic function of a :class:`~repro.runner.spec.CellSpec`
 slice.  Every stage is wrapped in the content-keyed on-disk cache
@@ -21,6 +23,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Any
 
+from repro.adversary.evaluate import AttackOutcome, run_scenario
 from repro.benchgen import load_iscas85, load_itc99, profile
 from repro.benchgen.random_logic import generate_random_circuit
 from repro.core.flow import SplitEvaluation, evaluate_split_layout
@@ -35,7 +38,7 @@ from repro.phys.layout import (
     build_locked_layout,
     build_unprotected_layout,
 )
-from repro.runner.spec import CellSpec, parse_benchmark
+from repro.runner.spec import AttackCellSpec, CellSpec, parse_benchmark
 from repro.utils.artifact_cache import ArtifactCache, get_or_create
 
 
@@ -123,6 +126,18 @@ def run_payload(cell: CellSpec) -> dict[str, Any]:
         "stage": "run",
         "layout": layout_payload(cell),
         "attack": asdict(cell.attack),
+        "postprocess_seed": cell.postprocess_seed,
+        "hd_patterns": cell.hd_patterns,
+        "hd_seed": cell.hd_seed,
+    }
+
+
+def attack_payload(acell: AttackCellSpec) -> dict[str, Any]:
+    cell = acell.cell
+    return {
+        "stage": "attack",
+        "layout": layout_payload(cell),
+        "scenario": acell.scenario.to_payload(),
         "postprocess_seed": cell.postprocess_seed,
         "hd_patterns": cell.hd_patterns,
         "hd_seed": cell.hd_seed,
@@ -224,6 +239,132 @@ def cell_run(
         return BenchRun.from_evaluation(cell.benchmark, evaluation)
 
     return get_or_create(cache, "run", run_payload(cell), create)
+
+
+def cell_attack(
+    acell: AttackCellSpec,
+    cache: ArtifactCache | None = None,
+    design: LockedDesign | None = None,
+    layout: PhysicalLayout | None = None,
+) -> AttackOutcome:
+    """Attack stage: one adversary scenario on the cell's split layout.
+
+    Builds on the same cached lock/layout artifacts as the classic
+    ``run`` stage, so a scenario sweep over an existing grid only pays
+    for the attacks themselves.
+    """
+    cell = acell.cell
+
+    def create() -> AttackOutcome:
+        local_design = design or locked_design(cell, cache)
+        local_layout = layout or cell_layout(cell, cache, design=local_design)
+        view = local_layout.feol_view(cell.split_layer)
+        return run_scenario(
+            acell.scenario,
+            view,
+            local_design.locked,
+            local_design.core,
+            benchmark=cell.benchmark,
+            split_layer=cell.split_layer,
+            hd_patterns=cell.hd_patterns,
+            hd_seed=cell.hd_seed,
+            postprocess_seed=cell.postprocess_seed,
+            cache=cache,
+        )
+
+    return get_or_create(cache, "attack", attack_payload(acell), create)
+
+
+TABLE3_SCHEMES = ("[22]", "[12]", "[13]", "proposed")
+
+
+def table3_payload(
+    benchmark: str, scheme: str, seed: int, key_bits: int, hd_patterns: int
+) -> dict[str, Any]:
+    return {
+        "stage": "table3",
+        "scheme": scheme,
+        "benchmark": benchmark,
+        "seed": seed,
+        "key_bits": key_bits,
+        "hd_patterns": hd_patterns,
+    }
+
+
+def table3_row(
+    benchmark: str,
+    scheme: str,
+    seed: int,
+    key_bits: int,
+    hd_patterns: int,
+    cache: ArtifactCache | None = None,
+):
+    """One Table III cell (one defense scheme on one ISCAS benchmark).
+
+    The computation is exactly the historical standalone path of
+    ``benchmarks/bench_table3_prior_art.py`` — the raw ISCAS netlist
+    (no ``combinational_core`` renaming, no scale, the lock config's
+    default candidate budget), so metrics are bit-identical to the
+    pre-runner harness; the runner only contributes the content-keyed
+    cache and cross-process reuse.
+    """
+
+    def create():
+        from repro.benchgen import load_iscas85
+        from repro.defenses import (
+            evaluate_beol_restore,
+            evaluate_routing_perturbation,
+            evaluate_wire_lifting,
+        )
+        from repro.defenses.base import clamp_regular_nets
+
+        circuit = load_iscas85(benchmark, seed=seed)
+        if scheme == "[22]":
+            return evaluate_routing_perturbation(
+                circuit, seed=seed, hd_patterns=hd_patterns
+            )
+        if scheme == "[12]":
+            return evaluate_wire_lifting(
+                circuit, seed=seed, hd_patterns=hd_patterns
+            )
+        if scheme == "[13]":
+            return evaluate_beol_restore(
+                circuit, seed=seed, hd_patterns=hd_patterns
+            )
+        if scheme != "proposed":
+            raise ValueError(f"unknown Table III scheme {scheme!r}")
+
+        from repro.attacks.postprocess import reconnect_key_gates_to_ties
+        from repro.attacks.proximity import proximity_attack
+        from repro.locking.atpg_lock import AtpgLockConfig
+        from repro.metrics.ccr import compute_ccr
+        from repro.metrics.hd_oer import compute_hd_oer
+        from repro.metrics.pnr import compute_pnr
+
+        locked, _ = atpg_lock(
+            circuit,
+            AtpgLockConfig(key_bits=key_bits, seed=seed, run_lec=False),
+        )
+        layout = build_locked_layout(locked, split_layer=4, seed=seed)
+        clamp_regular_nets(layout.routing)  # ISCAS designs fit under M4
+        view = layout.feol_view()
+        result = reconnect_key_gates_to_ties(proximity_attack(view))
+        ccr = compute_ccr(result)
+        pnr = compute_pnr(result)
+        hd = compute_hd_oer(circuit, result.recovered, patterns=hd_patterns)
+        return (
+            pnr.pnr_percent,
+            ccr.key_physical_ccr,
+            hd.hd_percent,
+            hd.oer_percent,
+        )
+
+    return get_or_create(
+        cache,
+        "table3",
+        table3_payload(benchmark, scheme, seed, key_bits, hd_patterns),
+        create,
+    )
 
 
 def layout_cost_runs(

@@ -32,7 +32,9 @@ from repro.utils.env import env_cache_dir
 
 #: Bump to invalidate every cached artifact after a semantic change in
 #: the flow (locking, layout or attack algorithms).
-CACHE_VERSION = 1
+#: v2: HdOerReport gained the ``engine`` provenance field — pre-bump
+#: pickles would restore without it and break ``asdict``/JSON dumps.
+CACHE_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:

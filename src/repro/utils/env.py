@@ -15,6 +15,13 @@ Knobs:
 * ``REPRO_CACHE_DIR``   — artifact-cache directory override.
 * ``REPRO_WORKERS``     — default worker count for the campaign runner.
 * ``REPRO_SIM_ENGINE``  — simulation engine (``auto``/``compiled``/``bigint``).
+* ``REPRO_ATTACK_SEED``   — default adversary-scenario seed (``0`` is a
+  valid seed, unlike the scale knob).
+* ``REPRO_ATTACK_BUDGET`` — hypothesis budget for scenario key search
+  (``> 0``; an explicit ``0`` is rejected, not treated as unset).
+* ``REPRO_ATTACK_ENGINE`` — default attack-engine selection for the
+  ``attacks`` campaign CLI (validated against the engine registry by
+  :mod:`repro.adversary.scenario`).
 """
 
 from __future__ import annotations
@@ -88,6 +95,45 @@ def env_choice(
     if value not in choices:
         raise ValueError(
             f"{name}={raw!r} is not one of {', '.join(choices)}"
+        )
+    return value
+
+
+def env_positive_int(name: str, default: int | None = None) -> int | None:
+    """Parse an integer knob that must be strictly positive when set.
+
+    Unset or empty returns *default*; a present value must parse as an
+    int ``> 0`` — an explicit ``0`` (or a negative) is a configuration
+    error that is reported, never silently folded into the default.
+    """
+    value = env_int(name)
+    if value is None:
+        return default
+    if value <= 0:
+        raise ValueError(
+            f"{name}={os.environ.get(name)!r} must be > 0; unset it (or "
+            "leave it empty) to use the default"
+        )
+    return value
+
+
+def env_name(
+    name: str, choices: tuple[str, ...], default: str | None = None
+) -> str | None:
+    """Parse an enumerated knob whose "unset" state is meaningful.
+
+    Like :func:`env_choice` but with an optional (``None``) default, so
+    callers can distinguish "no override configured" from any concrete
+    choice.  The raw value is validated against *choices* — a typo'd
+    engine name fails loudly instead of silently running the default.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        raise ValueError(
+            f"{name}={raw!r} is not one of {', '.join(sorted(choices))}"
         )
     return value
 

@@ -1,0 +1,312 @@
+"""Adversary scenario engine: specs, engines, matchers, evaluation."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    FEATURE_NAMES,
+    SCENARIOS,
+    MinCostFlow,
+    Scenario,
+    TrainConfig,
+    build_candidates,
+    engine_names,
+    get_engine,
+    implied_key_guess,
+    key_accuracy,
+    oracle_key_search,
+    parse_scenario,
+    run_scenario,
+    train_scorer,
+)
+from repro.adversary.engine import AttackContext
+from repro.adversary.netflow import flow_assignment
+from repro.locking import AtpgLockConfig, atpg_lock
+from repro.metrics import compute_ccr
+from repro.phys import build_locked_layout
+from tests.conftest import build_random_circuit
+
+
+@pytest.fixture(scope="module")
+def attacked_design():
+    circuit = build_random_circuit(40, num_inputs=12, num_gates=200, num_outputs=8)
+    locked, _ = atpg_lock(
+        circuit, AtpgLockConfig(key_bits=16, seed=5, run_lec=False)
+    )
+    layout = build_locked_layout(locked, split_layer=4, seed=2)
+    view = layout.feol_view()
+    return circuit, locked, layout, view
+
+
+#: Small, fast training config shared by the learned-scorer tests.
+TINY_TRAIN = TrainConfig(
+    profiles=((8, 4, 50), (10, 5, 70)), key_bits=6, epochs=60
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario specs
+# ----------------------------------------------------------------------
+def test_scenario_registry_names_are_consistent():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.engine in engine_names()
+
+
+def test_scenario_rejects_unknown_fields():
+    with pytest.raises(ValueError):
+        Scenario("x", knowledge="telepathy")
+    with pytest.raises(ValueError):
+        Scenario("x", objective="world-domination")
+    with pytest.raises(KeyError):
+        parse_scenario("not-a-scenario")
+
+
+def test_scenario_resolve_pins_seed_and_budget(monkeypatch):
+    monkeypatch.delenv("REPRO_ATTACK_SEED", raising=False)
+    monkeypatch.delenv("REPRO_ATTACK_BUDGET", raising=False)
+    resolved = SCENARIOS["netflow"].resolve()
+    assert resolved.seed is not None and resolved.budget is not None
+    monkeypatch.setenv("REPRO_ATTACK_SEED", "7")
+    monkeypatch.setenv("REPRO_ATTACK_BUDGET", "33")
+    resolved = SCENARIOS["netflow"].resolve()
+    assert resolved.seed == 7 and resolved.budget == 33
+    # explicit scenario values win over the environment
+    pinned = Scenario("x", seed=1, budget=2).resolve()
+    assert pinned.seed == 1 and pinned.budget == 2
+
+
+def test_scenario_payload_round_trip():
+    scenario = SCENARIOS["oracle-key"].resolve()
+    assert Scenario.from_payload(scenario.to_payload()) == scenario
+
+
+# ----------------------------------------------------------------------
+# Candidate features
+# ----------------------------------------------------------------------
+def test_candidates_cover_every_sink(attacked_design):
+    _, _, _, view = attacked_design
+    candidates = build_candidates(view, per_sink=8)
+    assert len(candidates.per_sink) == len(view.sink_stubs)
+    assert all(chosen for chosen in candidates.per_sink)
+    assert candidates.features.shape == (
+        candidates.num_pairs,
+        len(FEATURE_NAMES),
+    )
+
+
+def test_key_pins_always_see_every_tie(attacked_design):
+    _, _, _, view = attacked_design
+    candidates = build_candidates(view, per_sink=2)
+    tie_nets = {s.net for s in view.source_stubs if s.is_tie}
+    for sink_index, sink in enumerate(candidates.sinks):
+        if sink.has_escape:
+            continue
+        nets = {
+            candidates.source_net(i) for i in candidates.per_sink[sink_index]
+        }
+        assert tie_nets <= nets
+
+
+def test_labels_mark_true_pairs(attacked_design):
+    _, _, _, view = attacked_design
+    candidates = build_candidates(view, per_sink=16, with_labels=True)
+    assert candidates.labels is not None
+    rows = np.flatnonzero(candidates.labels)
+    for row in rows[:50]:
+        sink = candidates.sinks[int(candidates.pairs[row, 0])]
+        assert candidates.source_net(int(candidates.pairs[row, 1])) == sink.net
+
+
+# ----------------------------------------------------------------------
+# Min-cost flow matcher
+# ----------------------------------------------------------------------
+def test_min_cost_flow_beats_greedy_on_crossing():
+    # Greedy commits X-A (cost 1) then eats Y-B (cost 10) = 11;
+    # the optimal matching X-B + Y-A costs 3.5.
+    flow = MinCostFlow(6)  # S, X, Y, A, B, T
+    s, x, y, a, b, t = range(6)
+    flow.add_edge(s, x, 1, 0)
+    flow.add_edge(s, y, 1, 0)
+    arcs = {
+        ("X", "A"): flow.add_edge(x, a, 1, 10),
+        ("X", "B"): flow.add_edge(x, b, 1, 20),
+        ("Y", "A"): flow.add_edge(y, a, 1, 15),
+        ("Y", "B"): flow.add_edge(y, b, 1, 100),
+    }
+    flow.add_edge(a, t, 1, 0)
+    flow.add_edge(b, t, 1, 0)
+    pushed, cost = flow.solve(s, t, 2)
+    assert pushed == 2
+    assert cost == 35
+    assert flow.cap[arcs[("X", "B")]] == 0  # saturated = chosen
+    assert flow.cap[arcs[("Y", "A")]] == 0
+
+
+def test_min_cost_flow_respects_capacity():
+    flow = MinCostFlow(5)  # S, X, A, B, T
+    s, x, a, b, t = range(5)
+    flow.add_edge(s, x, 1, 0)  # driver load capacity 1
+    flow.add_edge(x, a, 1, 1)
+    flow.add_edge(x, b, 1, 1)
+    flow.add_edge(a, t, 1, 0)
+    flow.add_edge(b, t, 1, 0)
+    pushed, _ = flow.solve(s, t, 2)
+    assert pushed == 1  # capacity bounds the matching
+
+
+def test_flow_assignment_is_deterministic(attacked_design):
+    _, _, _, view = attacked_design
+    candidates = build_candidates(view, per_sink=8)
+    costs = candidates.features[:, 0]
+    first, diag_a = flow_assignment(view, candidates, costs, load_limit=5)
+    second, diag_b = flow_assignment(view, candidates, costs, load_limit=5)
+    assert first == second
+    assert diag_a == diag_b
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+def _context(view, locked, scenario_name, **overrides):
+    scenario = SCENARIOS[scenario_name].resolve()
+    return AttackContext(
+        view=view,
+        scenario=scenario,
+        seed=scenario.seed,
+        budget=scenario.budget,
+        locked=locked,
+        **overrides,
+    )
+
+
+def test_engine_registry_rejects_unknown():
+    with pytest.raises(KeyError):
+        get_engine("quantum")
+
+
+def test_netflow_engine_assigns_every_sink(attacked_design):
+    _, locked, _, view = attacked_design
+    result = get_engine("netflow").run(_context(view, locked, "netflow"))
+    assert set(result.assignment) == {s.stub_id for s in view.sink_stubs}
+    assert result.engine == "netflow"
+    result.recovered.topological_order()  # acyclic
+
+
+def test_netflow_beats_random_on_regular_nets(attacked_design):
+    _, locked, _, view = attacked_design
+    netflow = get_engine("netflow").run(_context(view, locked, "netflow"))
+    random_result = get_engine("random").run(_context(view, locked, "random"))
+    assert (
+        compute_ccr(netflow).regular_ccr
+        > compute_ccr(random_result).regular_ccr
+    )
+
+
+def test_learned_scorer_trains_deterministically():
+    first = train_scorer(TINY_TRAIN)
+    second = train_scorer(TINY_TRAIN)
+    assert np.array_equal(first.weights, second.weights)
+    assert first.bias == second.bias
+    assert first.meta["train_pairs"] > 0
+    assert 0.5 < first.meta["train_auc"] <= 1.0
+
+
+def test_learned_scorer_ranks_true_pairs_higher(attacked_design):
+    _, _, _, view = attacked_design
+    scorer = train_scorer(TINY_TRAIN)
+    candidates = build_candidates(view, per_sink=16, with_labels=True)
+    probs = scorer.probabilities(candidates.features)
+    true_mean = probs[candidates.labels > 0.5].mean()
+    false_mean = probs[candidates.labels < 0.5].mean()
+    assert true_mean > false_mean
+
+
+def test_sat_engine_reports_futility(attacked_design):
+    _, locked, _, view = attacked_design
+    result = get_engine("sat").run(_context(view, locked, "sat"))
+    futility = result.diagnostics["sat_futility"]
+    assert futility["keys_probed"] == futility["keys_consistent"]
+    assert len(result.key_guess) == locked.key_length
+
+
+# ----------------------------------------------------------------------
+# Scenario evaluation
+# ----------------------------------------------------------------------
+def test_run_scenario_requires_resolved():
+    with pytest.raises(ValueError):
+        run_scenario(
+            SCENARIOS["netflow"],  # unresolved: seed/budget are None
+            None, None, None, "x", 4, hd_patterns=64,
+        )
+
+
+def test_run_scenario_outcome_is_picklable(attacked_design):
+    circuit, locked, _, view = attacked_design
+    outcome = run_scenario(
+        SCENARIOS["netflow"].resolve(),
+        view, locked, circuit, "t200", 4, hd_patterns=512,
+    )
+    clone = pickle.loads(pickle.dumps(outcome))
+    assert clone.ccr == outcome.ccr
+    assert clone.hd_oer == outcome.hd_oer
+    assert clone.scenario == outcome.scenario
+
+
+def test_oracle_scenario_batches_hypotheses(attacked_design):
+    circuit, locked, _, view = attacked_design
+    outcome = run_scenario(
+        SCENARIOS["oracle-key"].resolve(),
+        view, locked, circuit, "t200", 4, hd_patterns=512,
+    )
+    assert outcome.sim_engine == "compiled-batch"
+    assert outcome.hypotheses > 1
+    assert outcome.key_guess is not None
+    assert 0.0 <= outcome.key_accuracy <= 1.0
+
+
+def test_oracle_key_search_finds_true_key_in_small_keyspace():
+    circuit = build_random_circuit(7, num_inputs=8, num_gates=80, num_outputs=4)
+    locked, _ = atpg_lock(
+        circuit, AtpgLockConfig(key_bits=4, seed=3, run_lec=False)
+    )
+    # Budget covers the whole 16-key space: the true key (or an exact
+    # functional equivalent) must score zero mismatches.
+    guess, diagnostics = oracle_key_search(
+        locked, circuit, budget=16, seed=11
+    )
+    assert diagnostics["hypotheses"] == 16
+    assert diagnostics["best_mismatch_bits"] == 0
+    assert key_accuracy(guess, locked) == 1.0 or _equivalent_key(
+        locked, guess
+    )
+
+
+def _equivalent_key(locked, guess):
+    from repro.sim.bitparallel import functions_equal_exhaustive
+
+    return functions_equal_exhaustive(
+        locked.with_key(list(guess), name="g"), locked.circuit.copy("r")
+    )
+
+
+def test_implied_key_guess_reads_tie_polarities(attacked_design):
+    circuit, locked, _, view = attacked_design
+    outcome_result = get_engine("ideal").run(
+        _context(view, locked, "ideal")
+    )
+    guess = implied_key_guess(outcome_result, locked)
+    assert len(guess) == locked.key_length
+    assert set(guess) <= {0, 1}
+    # the perfect assignment implies the true key exactly
+    from repro.attacks.result import AttackResult
+
+    perfect = AttackResult(
+        view, {s.stub_id: s.net for s in view.sink_stubs}, strategy="oracle"
+    )
+    assert implied_key_guess(perfect, locked) == locked.key
+    assert key_accuracy(implied_key_guess(perfect, locked), locked) == 1.0

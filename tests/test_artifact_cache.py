@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.utils.artifact_cache import ArtifactCache, spec_key
-from repro.utils.env import env_cache_dir, env_flag, env_int, env_scale
+from repro.utils.env import (
+    env_cache_dir,
+    env_flag,
+    env_int,
+    env_name,
+    env_positive_int,
+    env_scale,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -139,3 +146,50 @@ def test_env_int_and_cache_dir(monkeypatch, tmp_path):
     assert env_cache_dir() == tmp_path
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     assert env_cache_dir().name == "repro-splitlock"
+
+
+def test_env_attack_seed_semantics(monkeypatch):
+    """REPRO_ATTACK_SEED: 0 is a *valid* seed, empty means default."""
+    monkeypatch.delenv("REPRO_ATTACK_SEED", raising=False)
+    assert env_int("REPRO_ATTACK_SEED", 2019) == 2019
+    monkeypatch.setenv("REPRO_ATTACK_SEED", "")
+    assert env_int("REPRO_ATTACK_SEED", 2019) == 2019
+    monkeypatch.setenv("REPRO_ATTACK_SEED", "0")
+    assert env_int("REPRO_ATTACK_SEED", 2019) == 0
+    monkeypatch.setenv("REPRO_ATTACK_SEED", "soon")
+    with pytest.raises(ValueError, match="not an integer"):
+        env_int("REPRO_ATTACK_SEED", 2019)
+
+
+def test_env_attack_budget_rejects_zero(monkeypatch):
+    """REPRO_ATTACK_BUDGET: explicit 0 is an error, never a default."""
+    monkeypatch.delenv("REPRO_ATTACK_BUDGET", raising=False)
+    assert env_positive_int("REPRO_ATTACK_BUDGET", 256) == 256
+    monkeypatch.setenv("REPRO_ATTACK_BUDGET", "")
+    assert env_positive_int("REPRO_ATTACK_BUDGET", 256) == 256
+    monkeypatch.setenv("REPRO_ATTACK_BUDGET", "64")
+    assert env_positive_int("REPRO_ATTACK_BUDGET", 256) == 64
+    for bad in ("0", "-5"):
+        monkeypatch.setenv("REPRO_ATTACK_BUDGET", bad)
+        with pytest.raises(ValueError, match="must be > 0"):
+            env_positive_int("REPRO_ATTACK_BUDGET", 256)
+
+
+def test_env_attack_engine_selection(monkeypatch):
+    """REPRO_ATTACK_ENGINE: validated against the registry, unset = None."""
+    from repro.adversary import default_scenario_names, engine_names
+
+    monkeypatch.delenv("REPRO_ATTACK_ENGINE", raising=False)
+    assert env_name("REPRO_ATTACK_ENGINE", engine_names()) is None
+    monkeypatch.setenv("REPRO_ATTACK_ENGINE", "")
+    assert env_name("REPRO_ATTACK_ENGINE", engine_names()) is None
+    monkeypatch.setenv("REPRO_ATTACK_ENGINE", "netflow")
+    assert env_name("REPRO_ATTACK_ENGINE", engine_names()) == "netflow"
+    names = default_scenario_names()
+    assert "random" in names  # the floor always rides along
+    assert all(n in ("netflow", "netflow-bare", "random") for n in names)
+    monkeypatch.setenv("REPRO_ATTACK_ENGINE", "quantum")
+    with pytest.raises(ValueError, match="is not one of"):
+        env_name("REPRO_ATTACK_ENGINE", engine_names())
+    with pytest.raises(ValueError):
+        default_scenario_names()
