@@ -13,6 +13,14 @@ fanout branch counts — never the ground-truth net identity.  Distances
 are normalised by the stub bounding-box diagonal so feature scales are
 comparable across floorplans of very different sizes (the learned
 scorer trains on small self-generated layouts and attacks big ones).
+
+Candidate generation and the feature matrix run on the shared array
+geometry core (:mod:`repro.phys.geometry`): scores for a whole block
+of sinks are one broadcast evaluation, the per-sink ranking is one
+stable argsort, and the feature columns are gathered for all selected
+pairs at once.  Every value is bit-identical to the historical
+per-pair scalar loop (:func:`_pair_features` remains as the reference
+oracle for the differential tests).
 """
 
 from __future__ import annotations
@@ -23,6 +31,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attacks.hints import proximity_score
+from repro.phys.geometry import (
+    ALIGN_TOL_UM as _ALIGN_TOL_UM,
+    block_size_for,
+    candidate_order,
+    score_block,
+    score_pairs,
+    stub_arrays,
+)
 from repro.phys.split import FeolView, SinkStub, SourceStub
 
 #: Column order of the feature matrix (kept in sync with _pair_features).
@@ -38,10 +54,6 @@ FEATURE_NAMES: tuple[str, ...] = (
     "branch_count",  # log1p(#branch stubs of the candidate net)
     "hand_score",    # the hand-crafted composite score / span
 )
-
-#: Row tolerance for trunk alignment; mirrors the hint module.
-_ALIGN_TOL_UM = 0.75
-
 
 @dataclass
 class CandidateSet:
@@ -75,11 +87,18 @@ class CandidateSet:
 
 def coordinate_span(view: FeolView) -> float:
     """Bounding-box diagonal of all stub endpoints (>= 1.0)."""
-    xs = [s.x for s in view.source_stubs] + [s.x for s in view.sink_stubs]
-    ys = [s.y for s in view.source_stubs] + [s.y for s in view.sink_stubs]
-    if not xs:
+    arrays = stub_arrays(view)
+    if arrays.num_sources + arrays.num_sinks == 0:
         return 1.0
-    return max(1.0, math.hypot(max(xs) - min(xs), max(ys) - min(ys)))
+    xs = np.concatenate([arrays.source_x, arrays.sink_x])
+    ys = np.concatenate([arrays.source_y, arrays.sink_y])
+    return max(
+        1.0,
+        math.hypot(
+            float(xs.max()) - float(xs.min()),
+            float(ys.max()) - float(ys.min()),
+        ),
+    )
 
 
 def candidate_sources(
@@ -94,31 +113,43 @@ def candidate_sources(
     sinks = list(view.sink_stubs)
     sources = list(view.source_stubs)
     per: list[list[int]] = []
-    for sink in sinks:
-        scored = sorted(
-            (
-                (proximity_score(src, sink), src.stub_id, index)
-                for index, src in enumerate(sources)
-                if src.owner != sink.owner
-            ),
-        )
-        seen_nets: set[str] = set()
-        chosen: list[int] = []
-        for _score, _stub_id, index in scored:
-            net = sources[index].net
-            if net in seen_nets:
-                continue
-            seen_nets.add(net)
-            chosen.append(index)
-            if len(chosen) >= per_sink:
-                break
-        if not sink.has_escape:
-            for _score, _stub_id, index in scored:
-                src = sources[index]
-                if src.is_tie and src.net not in seen_nets:
-                    seen_nets.add(src.net)
-                    chosen.append(index)
-        per.append(chosen)
+    if not sinks:
+        return sinks, sources, per
+    if not sources:
+        return sinks, sources, [[] for _ in sinks]
+    arrays = stub_arrays(view)
+    src_owner = arrays.source_owner.tolist()
+    src_net = arrays.source_net.tolist()
+    src_tie = arrays.source_is_tie.tolist()
+    snk_owner = arrays.sink_owner.tolist()
+    snk_escape = arrays.sink_has_escape.tolist()
+    block = block_size_for(arrays)
+    for start in range(0, len(sinks), block):
+        stop = min(start + block, len(sinks))
+        ranked_rows = candidate_order(score_block(arrays, start, stop))
+        for local, row in enumerate(ranked_rows.tolist()):
+            sink_index = start + local
+            owner = snk_owner[sink_index]
+            seen_nets: set[int] = set()
+            chosen: list[int] = []
+            for index in row:
+                if src_owner[index] == owner:
+                    continue
+                net = src_net[index]
+                if net in seen_nets:
+                    continue
+                seen_nets.add(net)
+                chosen.append(index)
+                if len(chosen) >= per_sink:
+                    break
+            if not snk_escape[sink_index]:
+                for index in row:
+                    if src_owner[index] == owner:
+                        continue
+                    if src_tie[index] and src_net[index] not in seen_nets:
+                        seen_nets.add(src_net[index])
+                        chosen.append(index)
+            per.append(chosen)
     return sinks, sources, per
 
 
@@ -128,6 +159,11 @@ def _pair_features(
     span: float,
     branch_count: int,
 ) -> tuple[float, ...]:
+    """Scalar reference for one pair's feature row.
+
+    Kept as the oracle the differential tests compare the broadcast
+    feature matrix against — not used on the hot path.
+    """
     dx = abs(source.x - sink.x)
     dy = abs(source.y - sink.y)
     trunk_pair = source.trunk_axis == "x" and sink.trunk_axis == "x"
@@ -151,30 +187,68 @@ def build_candidates(
     """Assemble candidates + features (+ ground-truth labels) for *view*."""
     sinks, sources, per = candidate_sources(view, per_sink=per_sink)
     span = coordinate_span(view)
-    branches: dict[str, int] = {}
-    for src in sources:
-        branches[src.net] = branches.get(src.net, 0) + 1
-
-    pair_rows: list[tuple[int, int]] = []
-    feature_rows: list[tuple[float, ...]] = []
-    label_rows: list[float] = []
-    for sink_index, chosen in enumerate(per):
-        sink = sinks[sink_index]
-        for source_index in chosen:
-            source = sources[source_index]
-            pair_rows.append((sink_index, source_index))
-            feature_rows.append(
-                _pair_features(source, sink, span, branches[source.net])
-            )
-            if with_labels:
-                label_rows.append(1.0 if source.net == sink.net else 0.0)
+    arrays = stub_arrays(view)
 
     width = len(FEATURE_NAMES)
-    pairs = np.array(pair_rows, dtype=np.intp).reshape(-1, 2)
-    features = np.array(feature_rows, dtype=np.float64).reshape(-1, width)
-    labels = (
-        np.array(label_rows, dtype=np.float64) if with_labels else None
+    counts = [len(chosen) for chosen in per]
+    total = sum(counts)
+    if total == 0:
+        pairs = np.empty((0, 2), dtype=np.intp)
+        features = np.empty((0, width), dtype=np.float64)
+        labels = np.empty(0, dtype=np.float64) if with_labels else None
+        return CandidateSet(
+            view=view,
+            sinks=sinks,
+            sources=sources,
+            per_sink=per,
+            pairs=pairs,
+            features=features,
+            labels=labels,
+            span=span,
+            _net_of_source=[s.net for s in sources],
+        )
+
+    sink_index = np.repeat(np.arange(len(per), dtype=np.intp), counts)
+    source_index = np.fromiter(
+        (index for chosen in per for index in chosen),
+        dtype=np.intp,
+        count=total,
     )
+    dx, dy, dist, score = score_pairs(arrays, sink_index, source_index)
+    trunk_pair = (
+        arrays.source_trunk_x[source_index]
+        & arrays.sink_trunk_x[sink_index]
+    )
+    mode_mismatch = (
+        arrays.source_trunk_x[source_index]
+        != arrays.sink_trunk_x[sink_index]
+    )
+    # log1p over the small integer branch counts goes through a lookup
+    # so every entry is exactly math.log1p (np.log1p disagrees by ulps).
+    branches = np.bincount(arrays.source_net, minlength=len(arrays.nets))
+    log1p_table = np.array(
+        [math.log1p(value) for value in range(int(branches.max()) + 1)],
+        dtype=np.float64,
+    )
+    features = np.empty((total, width), dtype=np.float64)
+    features[:, 0] = dist / span
+    features[:, 1] = dx / span
+    features[:, 2] = dy / span
+    features[:, 3] = trunk_pair
+    features[:, 4] = trunk_pair & (dy <= _ALIGN_TOL_UM)
+    features[:, 5] = mode_mismatch
+    features[:, 6] = arrays.source_is_tie[source_index]
+    features[:, 7] = ~arrays.sink_has_escape[sink_index]
+    features[:, 8] = log1p_table[branches[arrays.source_net[source_index]]]
+    features[:, 9] = score / span
+
+    pairs = np.stack([sink_index, source_index], axis=1)
+    labels = None
+    if with_labels:
+        labels = (
+            arrays.source_net[source_index]
+            == arrays.sink_net[sink_index]
+        ).astype(np.float64)
     return CandidateSet(
         view=view,
         sinks=sinks,

@@ -149,18 +149,25 @@ def _match_nets(
         flow.add_edge(s_node, 1 + index, capacity, 0)
 
     # One arc per candidate pair: the best branch stub of each net was
-    # already selected during candidate generation.
+    # already selected during candidate generation.  The fixed-point
+    # cost conversion runs as one array op (np.rint rounds half to
+    # even, exactly like the scalar ``int(round(...))`` it replaces);
+    # the arc loop then walks plain lists, not per-row ndarray lookups.
+    int_costs = (
+        np.rint(np.asarray(costs, dtype=np.float64) * COST_SCALE)
+        .astype(np.int64)
+        .tolist()
+    )
+    sink_col = candidates.pairs[:, 0].tolist()
+    source_col = candidates.pairs[:, 1].tolist()
+    net_of_source = [net_index[net] for net in candidates._net_of_source]
     arc_of_pair: dict[tuple[int, int], int] = {}
-    for row in range(candidates.num_pairs):
-        sink_i = int(candidates.pairs[row, 0])
-        src_i = int(candidates.pairs[row, 1])
-        net_i = net_index[candidates.source_net(src_i)]
-        key = (sink_i, net_i)
+    for sink_i, src_i, cost in zip(sink_col, source_col, int_costs):
+        key = (sink_i, net_of_source[src_i])
         if key in arc_of_pair:
             continue
-        cost = int(round(float(costs[row]) * COST_SCALE))
         arc_of_pair[key] = flow.add_edge(
-            1 + net_i, 1 + num_nets + sink_i, 1, max(0, cost)
+            1 + key[1], 1 + num_nets + sink_i, 1, max(0, cost)
         )
     for sink_i in range(num_sinks):
         flow.add_edge(1 + num_nets + sink_i, t_node, 1, 0)
@@ -199,12 +206,16 @@ def flow_assignment(
     order_for_sink: list[list[tuple[float, str, int]]] = [
         [] for _ in range(num_sinks)
     ]
-    for row in range(candidates.num_pairs):
-        sink_i = int(candidates.pairs[row, 0])
-        src_i = int(candidates.pairs[row, 1])
-        net = candidates.source_net(src_i)
+    cost_col = np.asarray(costs, dtype=np.float64).tolist()
+    net_names = candidates._net_of_source
+    for sink_i, src_i, cost in zip(
+        candidates.pairs[:, 0].tolist(),
+        candidates.pairs[:, 1].tolist(),
+        cost_col,
+    ):
+        net = net_names[src_i]
         source_of_net_for_sink[sink_i].setdefault(net, src_i)
-        order_for_sink[sink_i].append((float(costs[row]), net, src_i))
+        order_for_sink[sink_i].append((cost, net, src_i))
     for ranked in order_for_sink:
         ranked.sort()
 

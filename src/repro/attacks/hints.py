@@ -13,6 +13,15 @@ import math
 from dataclasses import dataclass
 
 from repro.netlist.circuit import Circuit
+
+# The alignment tolerance and penalty constants live in the shared
+# geometry core so the scalar oracle here and the vectorized
+# score_block/score_pairs paths can never drift apart.
+from repro.phys.geometry import (
+    ALIGN_TOL_UM as _ALIGN_TOL_UM,
+    MODE_MISMATCH_PENALTY as _MODE_MISMATCH_PENALTY,
+    ROW_MISMATCH_PENALTY as _ROW_MISMATCH_PENALTY,
+)
 from repro.phys.split import FeolView, SinkStub, SourceStub
 
 
@@ -91,15 +100,8 @@ def _unary_of(gate_type):
 
 # ----------------------------------------------------------------------
 # Hint 1 + 2: proximity and direction of the dangling-wire endpoints
+# (tolerance/penalty constants shared via repro.phys.geometry)
 # ----------------------------------------------------------------------
-#: Row tolerance for trunk alignment (one metal pitch of slop).
-_ALIGN_TOL_UM = 0.75
-
-#: Penalty for candidate pairs whose FEOL breakage modes disagree.
-_MODE_MISMATCH_PENALTY = 25.0
-
-#: Penalty for trunk-type pairs on different rows (needs an extra jog).
-_ROW_MISMATCH_PENALTY = 40.0
 
 
 def proximity_score(source: SourceStub, sink: SinkStub) -> float:

@@ -24,10 +24,15 @@ from repro.attacks.hints import (
     build_context,
     creates_loop,
     load_allows,
-    proximity_score,
     timing_allows,
 )
 from repro.attacks.result import AttackResult, rebuild_netlist
+from repro.phys.geometry import (
+    block_size_for,
+    candidate_order,
+    score_block,
+    stub_arrays,
+)
 from repro.phys.split import FeolView
 
 
@@ -59,33 +64,58 @@ def proximity_attack(
     # Candidate generation: the K best-scoring sources per sink (branch
     # stubs of one net count separately).  Key-gate pins (no escape)
     # additionally consider every TIE source — the attacker knows TIE
-    # cells can only drive key-gates.
+    # cells can only drive key-gates.  Scores and per-sink rankings come
+    # from the shared array geometry core one block of sinks at a time;
+    # the stable argsort reproduces the ``(score, stub_id)`` order of
+    # the historical per-pair ``sorted`` exactly (source list order is
+    # stub-id order), so heap contents are bit-identical to the scalar
+    # path.
+    arrays = stub_arrays(view)
+    src_owner = arrays.source_owner.tolist()
+    source_nets = [s.net for s in sources]
+    src_ids = arrays.source_stub_id.tolist()
     heap: list[tuple[float, int, int, int]] = []
     order = 0
-    for sink in sinks:
-        scored = sorted(
-            ((proximity_score(src, sink), src.stub_id) for src in sources
-             if src.owner != sink.owner),
-            key=lambda item: item[0],
-        )
-        seen_nets: set[str] = set()
-        pushed = 0
-        for dist, src_id in scored:
-            src_net = source_by_id[src_id].net
-            if src_net in seen_nets:
-                continue  # one (best) branch per candidate net
-            seen_nets.add(src_net)
-            heapq.heappush(heap, (dist, order, sink.stub_id, src_id))
-            order += 1
-            pushed += 1
-            if pushed >= config.candidates_per_sink:
-                break
-        if not sink.has_escape:
-            for src in sources:
-                if src.is_tie and src.net not in seen_nets:
-                    dist = proximity_score(src, sink)
-                    heapq.heappush(heap, (dist, order, sink.stub_id, src.stub_id))
-                    order += 1
+    block = block_size_for(arrays)
+    for start in range(0, len(sinks), block):
+        stop = min(start + block, len(sinks))
+        scores = score_block(arrays, start, stop)
+        ranked_rows = candidate_order(scores).tolist()
+        score_rows = scores.score.tolist()
+        for local in range(stop - start):
+            sink = sinks[start + local]
+            owner = int(arrays.sink_owner[start + local])
+            score_row = score_rows[local]
+            seen_nets: set[str] = set()
+            pushed = 0
+            for index in ranked_rows[local]:
+                if src_owner[index] == owner:
+                    continue
+                net = source_nets[index]
+                if net in seen_nets:
+                    continue  # one (best) branch per candidate net
+                seen_nets.add(net)
+                heapq.heappush(
+                    heap,
+                    (score_row[index], order, sink.stub_id, src_ids[index]),
+                )
+                order += 1
+                pushed += 1
+                if pushed >= config.candidates_per_sink:
+                    break
+            if not sink.has_escape:
+                for index, src in enumerate(sources):
+                    if src.is_tie and src.net not in seen_nets:
+                        heapq.heappush(
+                            heap,
+                            (
+                                score_row[index],
+                                order,
+                                sink.stub_id,
+                                src.stub_id,
+                            ),
+                        )
+                        order += 1
 
     sink_by_id = {s.stub_id: s for s in sinks}
     assignment: dict[int, str] = {}
@@ -119,15 +149,20 @@ def proximity_attack(
 
     # Any sink left (all its candidates rejected): nearest non-looping
     # source wins, other constraints relaxed — the attacker must produce a
-    # complete, fabricable (acyclic) netlist.
-    for sink in sinks:
+    # complete, fabricable (acyclic) netlist.  Rankings are recomputed
+    # per leftover sink (there are few) from the shared score core; the
+    # stable argsort equals the stable ``sorted``-by-score it replaces.
+    for sink_index, sink in enumerate(sinks):
         if sink.stub_id in assignment:
             continue
-        ranked = sorted(
-            (s for s in sources if s.owner != sink.owner),
-            key=lambda s: proximity_score(s, sink),
-        )
-        for source in ranked:
+        row = candidate_order(
+            score_block(arrays, sink_index, sink_index + 1)
+        )[0]
+        owner = int(arrays.sink_owner[sink_index])
+        for index in row.tolist():
+            if src_owner[index] == owner:
+                continue
+            source = sources[index]
             if creates_loop(reaches, source, sink):
                 continue
             assignment[sink.stub_id] = source.net

@@ -10,6 +10,7 @@ these quantities against the unprotected baseline layout.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.netlist.cell_library import NANGATE45, CellLibrary
@@ -52,6 +53,88 @@ _DYNAMIC_NW_PER_FF = 605.0
 _DFF_ACTIVITY = 0.20
 
 
+class _CostTables:
+    """Per-(gate type, arity) cost scalars, computed once per layout.
+
+    The library's ``gate_*`` helpers rebuild the technology-mapping
+    decomposition tree on every call; inside the per-net and per-reader
+    loops below that dominated the whole cost stage.  A layout only
+    touches a handful of distinct (type, arity) combinations, so every
+    scalar is resolved once here and the loops become dict lookups —
+    same floats, same operation order, measurably faster.
+    """
+
+    def __init__(self, lib: CellLibrary) -> None:
+        self._lib = lib
+        self._area: dict[tuple, float] = {}
+        self._leakage: dict[tuple, float] = {}
+        self._input_cap: dict[tuple, float] = {}
+        self._switch_energy: dict[tuple, float] = {}
+        self._delay_model: dict[tuple, tuple[float, float, float]] = {}
+
+    def area(self, gate_type, arity: int) -> float:
+        key = (gate_type, arity)
+        value = self._area.get(key)
+        if value is None:
+            value = self._area[key] = self._lib.gate_area(gate_type, arity)
+        return value
+
+    def leakage(self, gate_type, arity: int) -> float:
+        key = (gate_type, arity)
+        value = self._leakage.get(key)
+        if value is None:
+            value = self._leakage[key] = self._lib.gate_leakage(
+                gate_type, arity
+            )
+        return value
+
+    def input_cap(self, gate_type, arity: int) -> float:
+        key = (gate_type, arity)
+        value = self._input_cap.get(key)
+        if value is None:
+            value = self._input_cap[key] = self._lib.gate_input_cap(
+                gate_type, arity
+            )
+        return value
+
+    def switch_energy(self, gate_type, arity: int) -> float:
+        key = (gate_type, arity)
+        value = self._switch_energy.get(key)
+        if value is None:
+            value = self._switch_energy[key] = self._lib.gate_switch_energy(
+                gate_type, arity
+            )
+        return value
+
+    def delay(self, gate_type, arity: int, load_ff: float) -> float:
+        """``lib.gate_delay`` with the load-independent parts memoised.
+
+        The library formula is ``intrinsic + drive * load`` for the
+        final stage plus a constant tree term; caching the three
+        coefficients reproduces it bit-for-bit for any load.
+        """
+        key = (gate_type, arity)
+        model = self._delay_model.get(key)
+        if model is None:
+            cells = self._lib.mapping_for(gate_type, arity)
+            final = cells[-1]
+            extra = 0.0
+            if len(cells) > 1:
+                stages = max(1, math.ceil(math.log2(len(cells) + 1)) - 1)
+                inner = cells[0]
+                extra = stages * (
+                    inner.intrinsic_ps
+                    + inner.drive_res_kohm * inner.input_cap_ff
+                )
+            model = (final.intrinsic_ps, final.drive_res_kohm, extra)
+            self._delay_model[key] = model
+        intrinsic, drive, extra = model
+        delay = intrinsic + drive * load_ff
+        if extra:
+            delay += extra
+        return delay
+
+
 def measure_layout_cost(
     circuit: Circuit,
     floorplan: Floorplan,
@@ -64,6 +147,7 @@ def measure_layout_cost(
     """Compute the cost metrics of one placed-and-routed design."""
     lib = library or NANGATE45
     stack = stack or STACK
+    tables = _CostTables(lib)
 
     cell_area = 0.0
     leakage = 0.0
@@ -71,15 +155,15 @@ def measure_layout_cost(
         if gate.is_input:
             continue
         arity = max(1, len(gate.fanin)) if not gate.is_tie else 0
-        cell_area += lib.gate_area(gate.gate_type, arity)
-        leakage += lib.gate_leakage(gate.gate_type, arity)
+        cell_area += tables.area(gate.gate_type, arity)
+        leakage += tables.leakage(gate.gate_type, arity)
 
     core = circuit.combinational_core() if circuit.is_sequential else circuit
     activity = toggle_activity(core, activity_patterns, seed=activity_seed)
     for dff in circuit.dffs:
         activity[dff] = _DFF_ACTIVITY
 
-    net_caps = _net_capacitances(circuit, routing, lib, stack)
+    net_caps = _net_capacitances(circuit, routing, tables, stack)
     dynamic = 0.0
     buffer_leakage = 0.0
     buf_cell = lib.cell_for_buffer()
@@ -93,7 +177,9 @@ def measure_layout_cost(
             dynamic += (
                 1000.0
                 * act
-                * lib.gate_switch_energy(gate.gate_type, max(1, len(gate.fanin)))
+                * tables.switch_energy(
+                    gate.gate_type, max(1, len(gate.fanin))
+                )
             )
         routed = routing.nets.get(net_name)
         if routed is not None and routed.eco_buffers:
@@ -102,7 +188,7 @@ def measure_layout_cost(
                 routed.eco_buffers * _DYNAMIC_NW_PER_FF * act * buf_cell.input_cap_ff
             )
 
-    critical = _critical_path(circuit, routing, net_caps, lib, stack)
+    critical = _critical_path(circuit, routing, net_caps, tables, lib, stack)
     return LayoutCost(
         die_area_um2=floorplan.die_area_um2,
         cell_area_um2=cell_area,
@@ -115,13 +201,21 @@ def measure_layout_cost(
 def _net_capacitances(
     circuit: Circuit,
     routing: Routing,
-    lib: CellLibrary,
+    tables: _CostTables,
     stack: MetalStack,
 ) -> dict[str, float]:
     """Total load capacitance seen by each net's driver (fF)."""
     caps: dict[str, float] = {}
     fanout = circuit.fanout_map()
-    for net_name in circuit.gates:
+    gates = circuit.gates
+    # Per-gate input caps resolved once; the reader loop then only
+    # gathers.  Accumulation order per net is unchanged (wire term,
+    # via term, then readers in fanout order).
+    in_cap = {
+        name: tables.input_cap(gate.gate_type, max(1, len(gate.fanin)))
+        for name, gate in gates.items()
+    }
+    for net_name in gates:
         cap = 0.0
         routed = routing.nets.get(net_name)
         if routed is not None:
@@ -131,8 +225,7 @@ def _net_capacitances(
                 1 + len(routed.routes)
             )
         for reader in fanout[net_name]:
-            gate = circuit.gates[reader]
-            cap += lib.gate_input_cap(gate.gate_type, max(1, len(gate.fanin)))
+            cap += in_cap[reader]
         caps[net_name] = cap
     return caps
 
@@ -141,26 +234,30 @@ def _critical_path(
     circuit: Circuit,
     routing: Routing,
     net_caps: dict[str, float],
+    tables: _CostTables,
     lib: CellLibrary,
     stack: MetalStack,
 ) -> float:
     """STA over the combinational view; returns the worst path (ps)."""
     arrival: dict[str, float] = {}
     worst = 0.0
+    dff_arrival = None
     for net in circuit.topological_order():
         gate = circuit.gates[net]
         if gate.is_input:
             arrival[net] = 0.0
             continue
         if gate.is_dff:
-            arrival[net] = lib.cell_for_dff().intrinsic_ps  # clk-to-q
+            if dff_arrival is None:
+                dff_arrival = lib.cell_for_dff().intrinsic_ps  # clk-to-q
+            arrival[net] = dff_arrival
             continue
         if gate.is_tie:
             arrival[net] = 0.0
             continue
         inputs_ready = max((arrival[n] for n in gate.fanin), default=0.0)
         load = net_caps.get(net, 0.0)
-        gate_delay = lib.gate_delay(gate.gate_type, len(gate.fanin), load)
+        gate_delay = tables.delay(gate.gate_type, len(gate.fanin), load)
         wire_delay = _wire_delay(routing.nets.get(net), load, stack)
         arrival[net] = inputs_ready + gate_delay + wire_delay
         worst = max(worst, arrival[net])

@@ -70,10 +70,18 @@ def build_floorplan(
     """
     lib = library or NANGATE45
     cell_area = 0.0
+    # gate_area rebuilds the technology-mapping tree per call; a layout
+    # only has a handful of distinct (type, arity) combinations, so
+    # resolve each once (same floats, same accumulation order).
+    area_of: dict[tuple, float] = {}
     for gate in circuit.gates.values():
         if gate.is_input:
             continue
-        cell_area += lib.gate_area(gate.gate_type, len(gate.fanin))
+        key = (gate.gate_type, len(gate.fanin))
+        area = area_of.get(key)
+        if area is None:
+            area = area_of[key] = lib.gate_area(*key)
+        cell_area += area
     cell_area = max(cell_area, ROW_HEIGHT_UM * SITE_WIDTH_UM * 4)
 
     die_area = cell_area / utilization

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.locking.key import KeyBit
 from repro.phys.placement import Placement
 from repro.phys.routing import Routing
@@ -87,26 +89,67 @@ def lift_key_nets(
 def _eco_reroute(
     routing: Routing, result: LiftingResult, depth_factor: float = 1.0
 ) -> None:
-    """Detour regular nets crossed by stacked-via columns."""
+    """Detour regular nets crossed by stacked-via columns.
+
+    The bounding boxes and the blocked-column counts run as one
+    broadcast over (nets x columns) — the pure-Python double loop here
+    dominated the whole lifting step once key sizes grew.  Counts are
+    integers and the detour arithmetic is unchanged, so results are
+    bit-identical to the scalar form.
+    """
     if not result.via_columns:
         return
-    for net in routing.nets.values():
-        if net.is_key_net or not net.routes:
-            continue
-        xs = [net.source.x] + [r.sink.x for r in net.routes]
-        ys = [net.source.y] + [r.sink.y for r in net.routes]
-        lo_x, hi_x = min(xs) - 0.5, max(xs) + 0.5
-        lo_y, hi_y = min(ys) - 0.5, max(ys) + 0.5
-        blocked = sum(
-            1
-            for (cx, cy) in result.via_columns
-            if lo_x <= cx <= hi_x and lo_y <= cy <= hi_y
-        )
-        if blocked == 0:
-            continue
+    nets = [
+        net
+        for net in routing.nets.values()
+        if not net.is_key_net and net.routes
+    ]
+    if not nets:
+        return
+    sizes = np.fromiter(
+        (1 + len(net.routes) for net in nets), dtype=np.intp, count=len(nets)
+    )
+    total = int(sizes.sum())
+    xs = np.fromiter(
+        (
+            value
+            for net in nets
+            for value in (net.source.x, *(r.sink.x for r in net.routes))
+        ),
+        dtype=np.float64,
+        count=total,
+    )
+    ys = np.fromiter(
+        (
+            value
+            for net in nets
+            for value in (net.source.y, *(r.sink.y for r in net.routes))
+        ),
+        dtype=np.float64,
+        count=total,
+    )
+    starts = np.zeros(len(nets), dtype=np.intp)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    lo_x = np.minimum.reduceat(xs, starts) - 0.5
+    hi_x = np.maximum.reduceat(xs, starts) + 0.5
+    lo_y = np.minimum.reduceat(ys, starts) - 0.5
+    hi_y = np.maximum.reduceat(ys, starts) + 0.5
+    columns = np.asarray(result.via_columns, dtype=np.float64)
+    col_x = columns[:, 0][None, :]
+    col_y = columns[:, 1][None, :]
+    blocked = np.count_nonzero(
+        (lo_x[:, None] <= col_x)
+        & (col_x <= hi_x[:, None])
+        & (lo_y[:, None] <= col_y)
+        & (col_y <= hi_y[:, None]),
+        axis=1,
+    )
+    for index in np.flatnonzero(blocked).tolist():
+        net = nets[index]
         base_length = sum(r.length for r in net.routes)
         detour = min(
-            MAX_DETOUR, 1.0 + DETOUR_PER_COLUMN * depth_factor * blocked
+            MAX_DETOUR,
+            1.0 + DETOUR_PER_COLUMN * depth_factor * int(blocked[index]),
         )
         if detour <= net.detour_factor:
             continue

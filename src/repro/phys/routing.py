@@ -160,7 +160,36 @@ def route_design(
     seed: int = 2019,
     key_nets: set[str] | None = None,
 ) -> Routing:
-    """Route every net; key-nets are skipped (handled by the lifting step)."""
+    """Route every net; key-nets are skipped (handled by the lifting step).
+
+    Dispatches between the reference router below and the array-native
+    engine of :mod:`repro.phys.compiled` per ``REPRO_LAYOUT_ENGINE``;
+    both are bit-identical.
+    """
+    from repro.phys.dispatch import resolve_layout_engine
+
+    if resolve_layout_engine() == "compiled":
+        from repro.phys.compiled import route_compiled
+
+        return route_compiled(
+            circuit, placement, floorplan,
+            stack=stack, seed=seed, key_nets=key_nets,
+        )
+    return route_reference(
+        circuit, placement, floorplan,
+        stack=stack, seed=seed, key_nets=key_nets,
+    )
+
+
+def route_reference(
+    circuit: Circuit,
+    placement: Placement,
+    floorplan: Floorplan,
+    stack: MetalStack | None = None,
+    seed: int = 2019,
+    key_nets: set[str] | None = None,
+) -> Routing:
+    """The pure-Python reference router (the compiled engine's oracle)."""
     stack = stack or STACK
     rng = random.Random(seed)
     key_nets = key_nets or set()

@@ -76,6 +76,35 @@ class FeolView:
     source_stubs: list[SourceStub] = field(default_factory=list)
     sink_stubs: list[SinkStub] = field(default_factory=list)
 
+    def __setattr__(self, name: str, value) -> None:
+        """Track stub-list reassignment for the array-cache token.
+
+        The defenses (routing perturbation, wire lifting) rebuild a
+        view's stub lists in place; bumping a version counter on every
+        ``source_stubs``/``sink_stubs`` assignment lets the cached
+        array backing (:mod:`repro.phys.geometry`) invalidate
+        deterministically instead of relying on object identity.
+        """
+        if name in ("source_stubs", "sink_stubs"):
+            object.__setattr__(
+                self, "_stub_version", getattr(self, "_stub_version", 0) + 1
+            )
+        object.__setattr__(self, name, value)
+
+    def __getstate__(self) -> dict:
+        """Drop the transient stub-array cache from pickles.
+
+        The arrays (see :mod:`repro.phys.geometry`) are derived data,
+        rebuilt on demand; persisting them would bloat every cached
+        attack artifact that embeds a view.
+        """
+        state = dict(self.__dict__)
+        state.pop("_stub_arrays", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def broken_net_count(self) -> int:
         return len({s.net for s in self.source_stubs})
@@ -96,7 +125,28 @@ def split_layout(
     split_layer: int,
     key_nets: set[str] | None = None,
 ) -> FeolView:
-    """Split the routed *circuit* at *split_layer*; returns the FEOL view."""
+    """Split the routed *circuit* at *split_layer*; returns the FEOL view.
+
+    Dispatches between the reference splitter below and the array-native
+    engine of :mod:`repro.phys.compiled` per ``REPRO_LAYOUT_ENGINE``;
+    both are bit-identical.
+    """
+    from repro.phys.dispatch import resolve_layout_engine
+
+    if resolve_layout_engine() == "compiled":
+        from repro.phys.compiled import split_compiled
+
+        return split_compiled(circuit, routing, split_layer, key_nets)
+    return split_reference(circuit, routing, split_layer, key_nets)
+
+
+def split_reference(
+    circuit: Circuit,
+    routing: Routing,
+    split_layer: int,
+    key_nets: set[str] | None = None,
+) -> FeolView:
+    """The pure-Python reference splitter (the compiled engine's oracle)."""
     key_nets = key_nets or set()
     view = FeolView(circuit.name, split_layer)
     view.gates = dict(circuit.gates)

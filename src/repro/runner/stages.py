@@ -104,20 +104,32 @@ def lock_payload(cell: CellSpec) -> dict[str, Any]:
 
 
 def layout_payload(cell: CellSpec, prelift: bool = False) -> dict[str, Any]:
+    # The layout-engine knob resolves into the key *before* hashing
+    # (like the attack-seed knobs of the attack stage): forcing an
+    # engine re-keys the layout and everything downstream instead of
+    # aliasing into the other engine's entries.  Both engines are
+    # bit-identical, so the duplicate entries carry equal artifacts —
+    # the split key is what lets CI diff them.
+    from repro.phys.dispatch import resolve_layout_engine
+
     return {
         "stage": "layout",
         "lock": lock_payload(cell),
         "split_layer": None if prelift else cell.split_layer,
         "prelift": prelift,
         "utilization": cell.utilization,
+        "engine": resolve_layout_engine(),
     }
 
 
 def unprotected_payload(cell: CellSpec) -> dict[str, Any]:
+    from repro.phys.dispatch import resolve_layout_engine
+
     return {
         "stage": "unprotected-layout",
         "bench": bench_payload(cell),
         "utilization": cell.utilization,
+        "engine": resolve_layout_engine(),
     }
 
 
@@ -281,6 +293,8 @@ TABLE3_SCHEMES = ("[22]", "[12]", "[13]", "proposed")
 def table3_payload(
     benchmark: str, scheme: str, seed: int, key_bits: int, hd_patterns: int
 ) -> dict[str, Any]:
+    from repro.phys.dispatch import resolve_layout_engine
+
     return {
         "stage": "table3",
         "scheme": scheme,
@@ -288,6 +302,7 @@ def table3_payload(
         "seed": seed,
         "key_bits": key_bits,
         "hd_patterns": hd_patterns,
+        "engine": resolve_layout_engine(),
     }
 
 

@@ -15,6 +15,10 @@ Knobs:
 * ``REPRO_CACHE_DIR``   — artifact-cache directory override.
 * ``REPRO_WORKERS``     — default worker count for the campaign runner.
 * ``REPRO_SIM_ENGINE``  — simulation engine (``auto``/``compiled``/``bigint``).
+* ``REPRO_LAYOUT_ENGINE`` — physical-design engine selection
+  (``auto``/``compiled``/``reference``; parsed by
+  :mod:`repro.phys.dispatch`).  Both engines are bit-identical; the
+  resolved choice participates in the runner's layout-stage cache keys.
 * ``REPRO_ATTACK_SEED``   — default adversary-scenario seed (``0`` is a
   valid seed, unlike the scale knob).
 * ``REPRO_ATTACK_BUDGET`` — hypothesis budget for scenario key search
