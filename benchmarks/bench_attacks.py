@@ -23,6 +23,7 @@ import json
 import sys
 import tempfile
 import time
+from dataclasses import asdict
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -132,8 +133,8 @@ def main(argv: list[str] | None = None) -> int:
         "cold_wall_seconds": cold_seconds,
         "cached_wall_seconds": warm_seconds,
         "cache_speedup": cold_seconds / max(warm_seconds, 1e-9),
-        "cold_cache": vars(cold.cache_stats()),
-        "warm_cache": vars(warm.cache_stats()),
+        "cold_cache": asdict(cold.cache_stats()),
+        "warm_cache": asdict(warm.cache_stats()),
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")

@@ -1,0 +1,198 @@
+"""Benchmark regression gate: current ``BENCH_*.json`` vs committed baselines.
+
+Each bench job produces a ``BENCH_*.json`` payload; this gate compares
+a small set of named metrics against the committed baseline in
+``benchmarks/baselines/`` and fails (exit 1) when any metric regresses
+beyond its tolerance.  CI runners differ wildly from the machine that
+recorded a baseline, so the tolerances are deliberately asymmetric:
+
+* **ratio metrics** (speedups — compiled vs big-int, cached vs cold)
+  divide out the machine and get the tight tolerance: a real algorithmic
+  regression moves them on any machine;
+* **absolute metrics** (wall seconds, patterns/sec) get the loose
+  tolerance: they gate only order-of-magnitude collapses.
+
+Improvements never fail.  Usage::
+
+    python benchmarks/check_regression.py BENCH_sim.json
+    python benchmarks/check_regression.py BENCH_*.json
+    python benchmarks/check_regression.py --update BENCH_sim.json  # refresh
+
+The baseline file is matched by name: ``BENCH_sim.json`` checks against
+``benchmarks/baselines/BENCH_sim.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: A real speedup regression survives machine noise: ratios may drop at
+#: most 40% below baseline.
+RATIO_TOLERANCE = 0.40
+#: Absolute times/throughputs vary with the runner; they gate only
+#: order-of-magnitude collapses (a 5x slowdown trips, a 2x does not).
+ABSOLUTE_TOLERANCE = 0.80
+#: Additive grace (seconds) for wall-clock metrics, so millisecond-scale
+#: baselines (a cache-served rerun) don't trip on scheduler noise.
+WALL_CLOCK_GRACE_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One gated scalar: where it lives and how it may move."""
+
+    name: str
+    extract: Callable[[dict[str, Any]], float]
+    #: ``higher`` — current may not fall more than tolerance below the
+    #: baseline; ``lower`` — may not rise more than tolerance above it.
+    direction: str = "higher"
+    tolerance: float = RATIO_TOLERANCE
+
+
+def _sim_min_speedup(payload: dict[str, Any]) -> float:
+    return min(r["speedup"] for r in payload["results"])
+
+
+def _sim_max_pps(payload: dict[str, Any]) -> float:
+    return max(r["compiled_pps"] for r in payload["results"])
+
+
+def _layout_min_speedup(payload: dict[str, Any]) -> float:
+    return min(p["speedup"] for p in payload["profiles"])
+
+
+#: The gate per payload stem.  Ratio metrics carry the tight tolerance,
+#: absolute ones the loose tolerance (see the module docstring).
+GATES: dict[str, tuple[Metric, ...]] = {
+    "BENCH_sim": (
+        Metric(
+            "largest_iscas85_speedup",
+            lambda p: p["largest_iscas85"]["speedup"],
+        ),
+        Metric("min_benchmark_speedup", _sim_min_speedup),
+        Metric(
+            "max_compiled_pps",
+            _sim_max_pps,
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+    ),
+    "BENCH_attacks": (
+        Metric("cache_speedup", lambda p: p["cache_speedup"]),
+        Metric(
+            "cold_wall_seconds",
+            lambda p: p["cold_wall_seconds"],
+            direction="lower",
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+        Metric(
+            "cached_wall_seconds",
+            lambda p: p["cached_wall_seconds"],
+            direction="lower",
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+    ),
+    "BENCH_layout": (
+        Metric(
+            "largest_profile_speedup",
+            lambda p: p["largest_profile_speedup"],
+        ),
+        Metric("min_profile_speedup", _layout_min_speedup),
+        Metric(
+            "max_layouts_per_second",
+            lambda p: max(
+                x["layouts_per_second_compiled"] for x in p["profiles"]
+            ),
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+    ),
+}
+
+
+def check_payload(
+    stem: str, current: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """All regressions of *current* vs *baseline*; empty means pass."""
+    failures = []
+    for metric in GATES[stem]:
+        now = metric.extract(current)
+        then = metric.extract(baseline)
+        if metric.direction == "higher":
+            bound = then * (1.0 - metric.tolerance)
+            bad = now < bound
+            allowed = f">= {bound:.4g}"
+        else:
+            bound = then * (1.0 + metric.tolerance) + WALL_CLOCK_GRACE_SECONDS
+            bad = now > bound
+            allowed = f"<= {bound:.4g}"
+        verdict = "FAIL" if bad else "ok"
+        print(
+            f"[bench-gate] {verdict:>4} {stem}.{metric.name}: "
+            f"{now:.4g} vs baseline {then:.4g} (allowed {allowed})"
+        )
+        if bad:
+            failures.append(f"{stem}.{metric.name}: {now:.4g} vs {then:.4g}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "payloads", nargs="+", type=Path, help="current BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=BASELINE_DIR,
+        help="directory of committed baselines (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current payloads over the baselines instead of "
+        "checking (commit the result deliberately)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for path in args.payloads:
+        stem = path.stem
+        if stem not in GATES:
+            print(f"[bench-gate] no gate defined for {path.name}")
+            failures.append(f"{stem}: unknown payload")
+            continue
+        if args.update:
+            args.baseline_dir.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(path, args.baseline_dir / path.name)
+            print(f"[bench-gate] baseline updated: {path.name}")
+            continue
+        baseline_path = args.baseline_dir / path.name
+        if not baseline_path.exists():
+            print(
+                f"[bench-gate] no baseline for {path.name} — run with "
+                f"--update and commit {baseline_path}"
+            )
+            failures.append(f"{stem}: missing baseline")
+            continue
+        current = json.loads(path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        failures += check_payload(stem, current, baseline)
+
+    if failures:
+        print(f"[bench-gate] {len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"[bench-gate]   {line}", file=sys.stderr)
+        return 1
+    print("[bench-gate] all benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

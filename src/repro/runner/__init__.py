@@ -13,6 +13,7 @@ The subsystem behind every table/figure harness and the
 from repro.runner.engine import (
     AttackCampaignResult,
     AttackCellResult,
+    CampaignExecutor,
     CampaignResult,
     CellResult,
     default_workers,
@@ -21,6 +22,12 @@ from repro.runner.engine import (
     run_attack_campaign,
     run_campaign,
     run_cost_campaign,
+)
+from repro.runner.serialize import (
+    attack_record,
+    canonical_json,
+    cell_record,
+    result_record,
 )
 from repro.runner.profiles import (
     ExperimentProfile,
@@ -37,6 +44,8 @@ from repro.runner.spec import (
     expand,
     expand_attack,
     parse_benchmark,
+    parse_spec_payload,
+    spec_payload,
 )
 from repro.runner.stages import (
     BenchRun,
@@ -55,15 +64,19 @@ __all__ = [
     "AttackCellResult",
     "AttackCellSpec",
     "BenchRun",
+    "CampaignExecutor",
     "CampaignResult",
     "CampaignSpec",
     "CellResult",
     "CellSpec",
     "ExperimentProfile",
     "LockedDesign",
+    "attack_record",
     "attack_smoke_campaign",
+    "canonical_json",
     "cell_attack",
     "cell_layout",
+    "cell_record",
     "cell_run",
     "current_profile",
     "default_workers",
@@ -74,10 +87,13 @@ __all__ = [
     "layout_cost_runs",
     "locked_design",
     "parse_benchmark",
+    "parse_spec_payload",
     "prorated_key_bits",
+    "result_record",
     "run_attack_campaign",
     "run_campaign",
     "run_cost_campaign",
     "smoke_campaign",
+    "spec_payload",
     "unprotected_layout",
 ]

@@ -13,6 +13,9 @@ Subcommands:
   crossed with benchmarks, split layers and key sizes; ``--smoke``
   runs the CI grid and checks the new engines beat the random floor;
 * ``smoke``  — one tiny end-to-end cell (the CI smoke job);
+* ``serve``  — the campaign service: an asyncio HTTP job server
+  multiplexing concurrent campaign submissions onto one worker pool
+  and one shared artifact cache (see :mod:`repro.service`);
 * ``cache``  — artifact-cache statistics / ``--clear``.
 
 All experiment subcommands honour ``--workers`` (default: all CPUs, or
@@ -28,7 +31,6 @@ import argparse
 import json
 import statistics
 import sys
-from dataclasses import asdict
 from typing import Sequence
 
 from repro.adversary.evaluate import grid_verdict
@@ -40,6 +42,7 @@ from repro.runner.engine import (
     run_cost_campaign,
 )
 from repro.runner.paper_data import PAPER_FIG5, PAPER_TABLE1, PAPER_TABLE2
+from repro.runner.serialize import attack_record, cell_record
 from repro.runner.profiles import (
     attack_smoke_campaign,
     current_profile,
@@ -69,6 +72,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="compute everything, do not read or write the artifact cache",
     )
+
+
+def _dump_json(path: str, records: list) -> None:
+    """Write serializer records — the same shape the service streams."""
+    with open(path, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(f"[runner] wrote {path}", file=sys.stderr)
 
 
 def _campaign(args: argparse.Namespace, spec: CampaignSpec) -> CampaignResult:
@@ -219,18 +229,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     print(render_table("Campaign sweep", header, body))
     if args.json:
-        payload = [
-            {
-                "cell": r.cell.to_payload(),
-                "ccr": asdict(r.run.ccr),
-                "hd_oer": asdict(r.run.hd_oer),
-                "seconds": r.seconds,
-            }
-            for r in result.cells
-        ]
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"[runner] wrote {args.json}", file=sys.stderr)
+        _dump_json(args.json, [cell_record(r) for r in result.cells])
     return 0
 
 
@@ -314,24 +313,7 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     )
     print(_attack_table(result))
     if args.json:
-        payload = [
-            {
-                "cell": r.cell.to_payload(),
-                "ccr": asdict(r.outcome.ccr),
-                "pnr": asdict(r.outcome.pnr),
-                "hd_oer": asdict(r.outcome.hd_oer)
-                if r.outcome.hd_oer
-                else None,
-                "key_accuracy": r.outcome.key_accuracy,
-                "hypotheses": r.outcome.hypotheses,
-                "sim_engine": r.outcome.sim_engine,
-                "seconds": r.seconds,
-            }
-            for r in result.cells
-        ]
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"[runner] wrote {args.json}", file=sys.stderr)
+        _dump_json(args.json, [attack_record(r) for r in result.cells])
     if args.smoke:
         ok, problems = _smoke_verdict(result)
         for line in problems:
@@ -371,7 +353,25 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
             note="expected: key CCR at the random-guessing floor, OER ~100",
         )
     )
+    if args.json:
+        _dump_json(args.json, [cell_record(r) for r in result.cells])
     return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import: the service stack (asyncio server, job manager) is
+    # only pulled in when actually serving.
+    from repro.service import ServiceConfig, serve_forever
+
+    config = ServiceConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        max_jobs=args.max_jobs,
+    )
+    return serve_forever(config)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -405,7 +405,36 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         cmd = sub.add_parser(name, help=doc)
         _add_common(cmd)
+        if name == "smoke":
+            cmd.add_argument(
+                "--json", default=None, help="dump results to this path"
+            )
         cmd.set_defaults(func=func)
+
+    serve = sub.add_parser(
+        name="serve",
+        help="run the campaign service (async multi-tenant job server)",
+    )
+    _add_common(serve)
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: REPRO_SERVICE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port, 0 for ephemeral (default: REPRO_SERVICE_PORT "
+        "or 8321)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="retained job limit (default: REPRO_SERVICE_MAX_JOBS or 256)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     sweep = sub.add_parser(name="sweep", help="run a custom campaign grid")
     _add_common(sweep)

@@ -193,6 +193,53 @@ def warm_cell(
     return cell.cell_id
 
 
+class CampaignExecutor:
+    """A long-lived cell executor: one ProcessPool shared across campaigns.
+
+    The one-shot :func:`run_campaign` path spins a pool up per call;
+    the campaign service instead keeps a single executor alive across
+    every job it serves, so worker processes (and their warm imports)
+    are reused and per-cell futures can be awaited as they complete.
+    Cells stay pure functions of their spec, so sharing the pool never
+    couples jobs — the cache directory and policy are fixed per
+    executor, exactly like one runner invocation.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.workers = max(1, workers if workers is not None else default_workers())
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.use_cache = use_cache
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def submit(self, worker: Callable, cell, **kwargs):
+        """Submit one cell through *worker*; returns its future."""
+        return self._pool.submit(
+            worker, cell, self.cache_dir, self.use_cache, **kwargs
+        )
+
+    def submit_cell(self, cell: CellSpec):
+        """Future of :func:`execute_cell` for *cell*."""
+        return self.submit(execute_cell, cell)
+
+    def submit_attack_cell(self, acell: AttackCellSpec):
+        """Future of :func:`execute_attack_cell` for *acell*."""
+        return self.submit(execute_attack_cell, acell)
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
 def _map_cells(
     worker: Callable,
     cells: Iterable[CellSpec],
@@ -206,11 +253,8 @@ def _map_cells(
     count = max(1, min(count, len(cells) or 1))
     if count == 1:
         return [worker(c, cache_dir, use_cache, **kwargs) for c in cells]
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        futures = [
-            pool.submit(worker, c, cache_dir, use_cache, **kwargs)
-            for c in cells
-        ]
+    with CampaignExecutor(count, cache_dir, use_cache) as executor:
+        futures = [executor.submit(worker, c, **kwargs) for c in cells]
         return [f.result() for f in futures]
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 from repro.adversary.scenario import Scenario, parse_scenario
 from repro.attacks.proximity import ProximityAttackConfig
@@ -302,3 +302,54 @@ def expand_attack(
     if isinstance(spec, AttackCampaignSpec):
         return spec.cells()
     return tuple(spec)
+
+
+# ---------------------------------------------------------------------------
+# Kind-discriminated JSON envelope (the campaign service's wire format)
+
+#: Envelope ``kind`` for classic metric campaigns.
+KIND_CAMPAIGN = "campaign"
+#: Envelope ``kind`` for adversary-scenario campaigns.
+KIND_ATTACKS = "attacks"
+
+
+def spec_payload(spec: CampaignSpec | AttackCampaignSpec) -> dict[str, Any]:
+    """Wrap *spec* in the kind-discriminated JSON envelope.
+
+    The envelope is what clients POST to the campaign service and what
+    job records store: ``{"kind": "campaign"|"attacks", "spec": {...}}``
+    round-trips through :func:`parse_spec_payload` to an equal spec.
+    """
+    if isinstance(spec, AttackCampaignSpec):
+        return {"kind": KIND_ATTACKS, "spec": spec.to_payload()}
+    if isinstance(spec, CampaignSpec):
+        return {"kind": KIND_CAMPAIGN, "spec": spec.to_payload()}
+    raise TypeError(f"not a campaign spec: {type(spec).__name__}")
+
+
+def parse_spec_payload(
+    payload: Mapping[str, Any],
+) -> CampaignSpec | AttackCampaignSpec:
+    """Parse a kind-discriminated envelope back into its spec.
+
+    Raises ``ValueError`` for a missing/unknown ``kind`` or a malformed
+    ``spec`` body, so service handlers can map every bad submission to
+    one error path.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("spec envelope must be a JSON object")
+    kind = payload.get("kind")
+    body = payload.get("spec")
+    if not isinstance(body, Mapping):
+        raise ValueError("spec envelope needs a 'spec' object")
+    try:
+        if kind == KIND_CAMPAIGN:
+            return CampaignSpec.from_payload(dict(body))
+        if kind == KIND_ATTACKS:
+            return AttackCampaignSpec.from_payload(dict(body))
+    except (TypeError, KeyError, ValueError) as exc:
+        raise ValueError(f"malformed {kind} spec: {exc}") from exc
+    raise ValueError(
+        f"unknown spec kind {kind!r}; expected "
+        f"{KIND_CAMPAIGN!r} or {KIND_ATTACKS!r}"
+    )

@@ -1,0 +1,152 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+Used by the tests, the CI verification layer and the ``python -m
+repro.service`` CLI; anything that can POST JSON works just as well
+(the README shows the same calls as ``curl`` lines).  One connection
+per request mirrors the server's ``Connection: close`` policy.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from repro.runner.spec import (
+    AttackCampaignSpec,
+    CampaignSpec,
+    spec_payload,
+)
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response (or unreachable server after retries)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Synchronous client bound to one service base URL."""
+
+    def __init__(self, url: str, timeout: float = 300.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// urls supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: Any = None
+    ) -> dict[str, Any]:
+        connection = self._connection()
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            parsed = json.loads(data.decode() or "null")
+            if response.status >= 400:
+                message = (
+                    parsed.get("error", "") if isinstance(parsed, dict) else ""
+                )
+                raise ServiceError(response.status, message or data.decode())
+            return parsed
+        finally:
+            connection.close()
+
+    # -- endpoints --------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self, spec: CampaignSpec | AttackCampaignSpec | dict[str, Any]
+    ) -> dict[str, Any]:
+        """Submit a spec (or a prebuilt envelope); returns the summary."""
+        envelope = spec if isinstance(spec, dict) else spec_payload(spec)
+        return self._request("POST", "/jobs", envelope)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/results")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield NDJSON records as the job's cells complete.
+
+        Ends after the final ``done`` event (which is yielded too, so
+        callers see the closing job summary).
+        """
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read().decode()
+                try:
+                    message = json.loads(data).get("error", data)
+                except ValueError:
+                    message = data
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line.decode())
+                yield record
+                if record.get("event") == "done":
+                    return
+        finally:
+            connection.close()
+
+    # -- conveniences -----------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            summary = self.job(job_id)
+            if summary["state"] in ("done", "failed", "cancelled"):
+                return summary
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {summary['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def wait_healthy(self, timeout: float = 60.0, poll: float = 0.3) -> dict:
+        """Retry ``/healthz`` until the server answers (CI boot gate)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServiceError) as exc:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.host}:{self.port} not healthy "
+                        f"after {timeout}s: {exc}"
+                    ) from exc
+                time.sleep(poll)

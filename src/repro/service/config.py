@@ -1,0 +1,74 @@
+"""Campaign-service configuration: ``REPRO_SERVICE_*`` knob resolution.
+
+One place resolves the service environment knobs (documented in
+:mod:`repro.utils.env`) into a concrete :class:`ServiceConfig`, shared
+by ``python -m repro.runner serve`` and the self-hosted harnesses
+(tests, ``python -m repro.service verify/stress``), so every entry
+point agrees on defaults and CLI flags override the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils.env import env_cache_dir, env_int, env_positive_int, env_str
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8321
+DEFAULT_MAX_JOBS = 256
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one service instance needs, resolved and immutable."""
+
+    host: str = DEFAULT_HOST
+    #: ``0`` binds an ephemeral port (tests and self-hosted harnesses).
+    port: int = DEFAULT_PORT
+    #: ``None`` — the runner's default (all CPUs / ``REPRO_WORKERS``).
+    workers: int | None = None
+    #: ``None`` — the runner's default (``REPRO_CACHE_DIR`` or per-user).
+    cache_dir: Path | None = None
+    use_cache: bool = True
+    #: Finished-job records retained before the oldest are evicted.
+    max_jobs: int = DEFAULT_MAX_JOBS
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ValueError(f"port {self.port} out of range")
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError("workers must be > 0 (or None for the default)")
+        if self.max_jobs <= 0:
+            raise ValueError("max_jobs must be > 0")
+
+    def resolved_cache_dir(self) -> Path:
+        """The cache directory this service will actually use."""
+        return self.cache_dir if self.cache_dir is not None else env_cache_dir()
+
+    @staticmethod
+    def from_env(
+        host: str | None = None,
+        port: int | None = None,
+        workers: int | None = None,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+        max_jobs: int | None = None,
+    ) -> "ServiceConfig":
+        """Environment defaults, overridden by any explicit argument."""
+        return ServiceConfig(
+            host=host
+            if host is not None
+            else env_str("REPRO_SERVICE_HOST", DEFAULT_HOST),
+            port=port
+            if port is not None
+            else env_int("REPRO_SERVICE_PORT", DEFAULT_PORT),
+            workers=workers
+            if workers is not None
+            else env_positive_int("REPRO_SERVICE_WORKERS"),
+            cache_dir=None if cache_dir is None else Path(cache_dir),
+            use_cache=use_cache,
+            max_jobs=max_jobs
+            if max_jobs is not None
+            else env_positive_int("REPRO_SERVICE_MAX_JOBS", DEFAULT_MAX_JOBS),
+        )

@@ -1,0 +1,153 @@
+"""CI service-verification layer: HTTP path vs CLI path, bit for bit.
+
+The ``service-smoke`` CI job boots a real server, then runs this layer
+twice (cold, then cache-served).  Each run
+
+1. executes the smoke campaign through the **CLI path** — a literal
+   ``python -m repro.runner smoke --json`` subprocess (or
+   ``attacks --smoke --json``) with its own cache directory;
+2. submits the *same* spec to the server over **HTTP** and consumes
+   the streamed NDJSON records;
+3. asserts both result lists are **bit-identical** after stripping
+   only the volatile wall-clock accounting
+   (:func:`repro.runner.serialize.canonical_json`);
+4. with ``--expect-cached``, additionally asserts from the server's
+   ``/metrics`` delta that the submission produced **zero** cache
+   misses — the rerun was served entirely from the artifact store.
+
+Exit status is the verdict, so the CI step is just this invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.runner.profiles import attack_smoke_campaign, smoke_campaign
+from repro.runner.serialize import canonical_json
+from repro.service.client import ServiceClient
+
+#: Keys the service stream adds on top of the CLI record shape.
+_STREAM_ONLY_KEYS = ("event", "index")
+
+
+def _log(message: str) -> None:
+    print(f"[service-verify] {message}", flush=True)
+
+
+def cli_reference_records(
+    attacks: bool, cache_dir: Path, workers: int
+) -> list[dict[str, Any]]:
+    """Run the real CLI subprocess; returns its ``--json`` records."""
+    with tempfile.TemporaryDirectory(prefix="verify-cli-") as tmp:
+        out = Path(tmp) / "cli.json"
+        command = [sys.executable, "-m", "repro.runner"]
+        command += ["attacks", "--smoke"] if attacks else ["smoke"]
+        command += [
+            "--json",
+            str(out),
+            "--cache-dir",
+            str(cache_dir),
+            "--workers",
+            str(workers),
+        ]
+        proc = subprocess.run(command, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            raise RuntimeError(
+                f"CLI reference path failed with exit {proc.returncode}"
+            )
+        return json.loads(out.read_text())
+
+
+def streamed_records(
+    client: ServiceClient, spec
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Submit *spec*, stream to completion; records in spec order."""
+    summary = client.submit(spec)
+    results = []
+    done: dict[str, Any] = {}
+    for record in client.stream(summary["id"]):
+        if record.get("event") == "result":
+            results.append(record)
+        elif record.get("event") == "error":
+            raise RuntimeError(f"cell failed on the service: {record}")
+        elif record.get("event") == "done":
+            done = record["job"]
+    results.sort(key=lambda r: r["index"])
+    stripped = [
+        {k: v for k, v in r.items() if k not in _STREAM_ONLY_KEYS}
+        for r in results
+    ]
+    return stripped, done
+
+
+def run_verify(
+    url: str,
+    attacks: bool = False,
+    cli_cache_dir: str | Path | None = None,
+    workers: int = 2,
+    expect_cached: bool = False,
+) -> int:
+    """The full verification pass; returns a process exit status."""
+    spec = attack_smoke_campaign() if attacks else smoke_campaign()
+    kind = "attacks" if attacks else "campaign"
+    stage = "attack" if attacks else "run"
+    client = ServiceClient(url)
+    client.wait_healthy()
+
+    before = client.metrics()
+    service_records, done = streamed_records(client, spec)
+    after = client.metrics()
+    if done.get("state") != "done":
+        _log(f"FAIL: job finished in state {done.get('state')!r}")
+        return 1
+    _log(
+        f"{kind} job {done['id']}: {len(service_records)} cells streamed "
+        f"in {done['wall_seconds']:.1f}s"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="verify-ref-") as fallback:
+        cache_dir = Path(cli_cache_dir) if cli_cache_dir else Path(fallback)
+        cli_records = cli_reference_records(attacks, cache_dir, workers)
+
+    if len(cli_records) != len(service_records):
+        _log(
+            f"FAIL: CLI produced {len(cli_records)} records, service "
+            f"streamed {len(service_records)}"
+        )
+        return 1
+    if canonical_json(cli_records) != canonical_json(service_records):
+        for index, (ours, theirs) in enumerate(
+            zip(service_records, cli_records)
+        ):
+            if canonical_json([ours]) != canonical_json([theirs]):
+                _log(f"FAIL: first divergence at record {index}:")
+                _log(f"  service: {canonical_json([ours])[:400]}")
+                _log(f"  cli:     {canonical_json([theirs])[:400]}")
+                break
+        return 1
+    _log(f"PASS: HTTP stream bit-identical to the CLI path ({kind})")
+
+    if expect_cached:
+        delta_misses = (
+            after["cache"]["misses"] - before["cache"]["misses"]
+        )
+        stage_after = after["cache"]["stages"].get(stage, {})
+        stage_before = before["cache"]["stages"].get(stage, {})
+        delta_stage = stage_after.get("misses", 0) - stage_before.get(
+            "misses", 0
+        )
+        if delta_misses != 0 or delta_stage != 0:
+            _log(
+                f"FAIL: expected a cache-served rerun but saw "
+                f"{delta_misses} misses ({delta_stage} on {stage!r})"
+            )
+            return 1
+        _log("PASS: rerun served entirely from the artifact cache")
+    return 0

@@ -7,14 +7,25 @@ canonicalised spec payload, so
 
 * re-running any harness is free once the artifacts exist,
 * independent processes (parallel campaign workers, separate pytest
-  invocations, different harnesses) share one store, and
+  invocations, different harnesses, campaign-service workers) share one
+  store, and
 * *any* change to the spec — seed, key bits, split layer, scale,
   attack config — changes the key and transparently invalidates.
 
-Entries are pickles written atomically (temp file + ``os.replace``) so
-concurrent workers computing the same cell race benignly: both produce
-identical bytes and the last rename wins.  Corrupt or unreadable
+Entries are pickles written atomically (temp file, flushed and fsynced,
+then ``os.replace``) so concurrent workers computing the same cell race
+benignly: both produce identical bytes and the last rename wins, and a
+crash mid-write can never leave a truncated artifact at the final path.
+A worker killed *between* creating its temp file and renaming it leaves
+an orphaned ``*.tmp`` behind; :meth:`ArtifactCache.cleanup_orphans`
+sweeps those (age-gated so in-flight writers are spared) and the
+campaign service runs the sweep on startup.  Corrupt or unreadable
 entries are treated as misses and evicted.
+
+Stats are tracked both in aggregate and per stage
+(:class:`StageStats`: hits/misses/stores plus the wall-clock spent
+inside ``create()`` on misses), which is what the service's
+``/metrics`` endpoint exposes.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -35,6 +47,13 @@ from repro.utils.env import env_cache_dir
 #: v2: HdOerReport gained the ``engine`` provenance field — pre-bump
 #: pickles would restore without it and break ``asdict``/JSON dumps.
 CACHE_VERSION = 2
+
+#: Suffix of in-flight write temp files (see :meth:`ArtifactCache.put`).
+TMP_SUFFIX = ".tmp"
+
+#: Orphaned temp files younger than this are presumed in-flight and
+#: spared by :meth:`ArtifactCache.cleanup_orphans`.
+ORPHAN_MAX_AGE_SECONDS = 3600.0
 
 
 def _canonical(value: Any) -> Any:
@@ -61,17 +80,46 @@ def spec_key(payload: Mapping[str, Any]) -> str:
 
 
 @dataclass
-class CacheStats:
-    """Hit/miss counters of one :class:`ArtifactCache` instance."""
+class StageStats:
+    """Counters of one pipeline stage (lock/layout/run/attack/...)."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Wall-clock seconds spent *computing* this stage (inside the
+    #: ``create()`` callbacks of cache misses).
+    compute_seconds: float = 0.0
+
+    def merge(self, other: "StageStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.compute_seconds += other.compute_seconds
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ArtifactCache` instance.
+
+    Aggregate counters plus a per-stage breakdown; both survive the
+    pickle hop back from pool workers, so campaign results (and the
+    service's ``/metrics``) can attribute cost to individual stages.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageStats:
+        return self.stages.setdefault(name, StageStats())
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
+        for name, stats in other.stages.items():
+            self.stage(name).merge(stats)
 
 
 @dataclass
@@ -97,6 +145,7 @@ class ArtifactCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self.stats.stage(stage).misses += 1
             return self._MISS
         except (
             OSError,
@@ -110,25 +159,36 @@ class ArtifactCache:
             # and miss.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            self.stats.stage(stage).misses += 1
             return self._MISS
         self.stats.hits += 1
+        self.stats.stage(stage).hits += 1
         return value
 
     def put(self, stage: str, key: str, value: Any) -> None:
-        """Atomically store *value* under (*stage*, *key*)."""
+        """Atomically and durably store *value* under (*stage*, *key*).
+
+        Write-to-temp + ``os.replace`` keeps readers from ever seeing a
+        partial entry; the flush + fsync before the rename keeps a
+        crash (or power loss) from replacing a good entry with a
+        truncated one that would poison every cache rerun.
+        """
         path = self._path(stage, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=path.parent, suffix=".tmp", delete=False
+            mode="wb", dir=path.parent, suffix=TMP_SUFFIX, delete=False
         )
         try:
             with handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, path)
         except BaseException:
             os.unlink(handle.name)
             raise
         self.stats.stores += 1
+        self.stats.stage(stage).stores += 1
 
     def get_or_create(
         self, stage: str, payload: Mapping[str, Any], create: Callable[[], Any]
@@ -138,7 +198,9 @@ class ArtifactCache:
         value = self.get(stage, key)
         if value is not self._MISS:
             return value
+        start = time.perf_counter()
         value = create()
+        self.stats.stage(stage).compute_seconds += time.perf_counter() - start
         self.put(stage, key, value)
         return value
 
@@ -154,6 +216,37 @@ class ArtifactCache:
         if not self.root.exists():
             return 0
         return sum(p.stat().st_size for p in self.root.glob("*/*.pkl"))
+
+    def orphan_count(self) -> int:
+        """In-flight/abandoned ``*.tmp`` files currently under the root."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob(f"*/*{TMP_SUFFIX}"))
+
+    def cleanup_orphans(
+        self, max_age_seconds: float = ORPHAN_MAX_AGE_SECONDS
+    ) -> int:
+        """Delete temp files abandoned by killed writers.
+
+        A worker killed between creating its temp file and the atomic
+        rename leaves the temp behind forever.  Files younger than
+        *max_age_seconds* are presumed to belong to a live writer and
+        are spared (pass ``0`` to force-sweep everything, e.g. at
+        service startup when no writers can exist yet).  Returns the
+        number of files removed.
+        """
+        if not self.root.exists():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for path in self.root.glob(f"*/*{TMP_SUFFIX}"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except FileNotFoundError:
+                continue  # another cleaner won the race; fine
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""

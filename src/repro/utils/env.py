@@ -26,6 +26,19 @@ Knobs:
 * ``REPRO_ATTACK_ENGINE`` — default attack-engine selection for the
   ``attacks`` campaign CLI (validated against the engine registry by
   :mod:`repro.adversary.scenario`).
+
+Campaign-service knobs (defaults for ``python -m repro.runner serve``,
+resolved by :mod:`repro.service.config`; CLI flags override them):
+
+* ``REPRO_SERVICE_HOST``     — bind address (default ``127.0.0.1``).
+* ``REPRO_SERVICE_PORT``     — bind port (default ``8321``; ``0`` asks
+  the OS for an ephemeral port, so it is parsed with :func:`env_int`,
+  not the strictly-positive variant).
+* ``REPRO_SERVICE_WORKERS``  — service ProcessPool size (``> 0``;
+  default: ``REPRO_WORKERS`` semantics, i.e. every available CPU).
+* ``REPRO_SERVICE_MAX_JOBS`` — finished-job records retained for
+  ``GET /jobs/{id}`` before the oldest are evicted (``> 0``,
+  default ``256``).
 """
 
 from __future__ import annotations
@@ -140,6 +153,14 @@ def env_name(
             f"{name}={raw!r} is not one of {', '.join(sorted(choices))}"
         )
     return value
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """Parse a free-form string knob; unset or empty means *default*."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    return raw.strip()
 
 
 def env_cache_dir(name: str = "REPRO_CACHE_DIR") -> Path:

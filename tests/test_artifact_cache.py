@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from repro.utils.artifact_cache import ArtifactCache, spec_key
+from repro.utils.artifact_cache import (
+    TMP_SUFFIX,
+    ArtifactCache,
+    CacheStats,
+    StageStats,
+    spec_key,
+)
 from repro.utils.env import (
     env_cache_dir,
     env_flag,
@@ -91,6 +100,79 @@ def test_clear_removes_everything(tmp_path):
     assert cache.clear() == 3
     assert cache.entry_count() == 0
     assert cache.size_bytes() == 0
+
+
+# ---------------------------------------------------------------------------
+# Per-stage stats, atomic writes, orphan sweeping
+
+
+def test_per_stage_stats_tracked_separately(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.get_or_create("lock", {"a": 1}, lambda: "locked")
+    cache.get_or_create("lock", {"a": 1}, lambda: "locked")
+    cache.get_or_create("run", {"a": 1}, lambda: "ran")
+    lock = cache.stats.stages["lock"]
+    assert (lock.hits, lock.misses, lock.stores) == (1, 1, 1)
+    run = cache.stats.stages["run"]
+    assert (run.hits, run.misses, run.stores) == (0, 1, 1)
+    assert cache.stats.hits == 1 and cache.stats.misses == 2
+    # compute wall-clock attributed to the stage that paid it
+    assert lock.compute_seconds >= 0 and run.compute_seconds >= 0
+
+
+def test_cache_stats_merge_merges_stages():
+    a = CacheStats(hits=1, misses=2, stores=2)
+    a.stage("run").merge(StageStats(hits=1, misses=2, compute_seconds=0.5))
+    b = CacheStats(hits=3, misses=1, stores=1)
+    b.stage("run").merge(StageStats(hits=3, misses=1, compute_seconds=0.25))
+    b.stage("lock").merge(StageStats(misses=1))
+    a.merge(b)
+    assert (a.hits, a.misses, a.stores) == (4, 3, 3)
+    assert a.stage("run").hits == 4
+    assert a.stage("run").compute_seconds == pytest.approx(0.75)
+    assert a.stage("lock").misses == 1
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for index in range(5):
+        cache.put("s", spec_key({"i": index}), list(range(100)))
+    assert cache.orphan_count() == 0
+    assert cache.entry_count() == 5
+
+
+def test_orphan_cleanup_is_age_gated(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("s", spec_key({"a": 1}), "keep")
+    stage_dir = tmp_path / "s"
+    fresh = stage_dir / f"inflight{TMP_SUFFIX}"
+    fresh.write_bytes(b"partial write")
+    stale = stage_dir / f"abandoned{TMP_SUFFIX}"
+    stale.write_bytes(b"partial write")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+    assert cache.orphan_count() == 2
+    # default sweep spares the young (presumed in-flight) writer
+    assert cache.cleanup_orphans() == 1
+    assert fresh.exists() and not stale.exists()
+    # force-sweep takes everything
+    assert cache.cleanup_orphans(max_age_seconds=0) == 1
+    assert cache.orphan_count() == 0
+    # the real entry was never touched
+    assert cache.get("s", spec_key({"a": 1})) == "keep"
+
+
+def test_failed_put_cleans_its_temp_file(tmp_path):
+    cache = ArtifactCache(tmp_path)
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise RuntimeError("nope")
+
+    with pytest.raises(RuntimeError):
+        cache.put("s", spec_key({"a": 1}), Unpicklable())
+    assert cache.orphan_count() == 0
+    assert cache.entry_count() == 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,313 @@
+"""Campaign service: job state machine, spec envelopes, HTTP end to end.
+
+The load-bearing guarantees under test:
+
+* the job state machine only walks its allowed edges
+  (``queued → running → done | failed | cancelled``);
+* spec envelopes survive a JSON round trip for both campaign kinds;
+* results streamed over real HTTP are **bit-identical** to the same
+  spec executed in process (the CLI path), modulo wall-clock keys;
+* identical cells submitted by concurrent jobs are computed exactly
+  once (the in-flight dedupe table) yet delivered to every submitter.
+
+The end-to-end tests talk real HTTP to a :class:`ServiceThread` on an
+ephemeral localhost port — the same harness CI's service jobs use.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import run_campaign
+from repro.runner.serialize import canonical_json, cell_record
+from repro.runner.spec import (
+    AttackCampaignSpec,
+    CampaignSpec,
+    parse_spec_payload,
+    spec_payload,
+)
+from repro.service import (
+    InvalidTransition,
+    Job,
+    JobState,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+)
+from repro.service.jobs import CELL_PENDING, cell_key
+
+#: Tiny two-cell grid for the HTTP round trips (seconds of runtime).
+E2E = CampaignSpec(
+    benchmarks=("random:i8-o4-g60",),
+    split_layers=(4, 6),
+    key_bits=(10,),
+    scale=1.0,
+    hd_patterns=256,
+    max_candidates=60,
+)
+
+ATTACK_E2E = AttackCampaignSpec(
+    benchmarks=("random:i8-o4-g60",),
+    scenarios=("netflow", "random"),
+    split_layers=(4,),
+    key_bits=(10,),
+    scale=1.0,
+    hd_patterns=256,
+    max_candidates=60,
+)
+
+
+def _job(n_cells: int = 2) -> Job:
+    cells = E2E.cells() * (n_cells // 2 + 1)
+    return Job(id="t1", kind="campaign", spec=E2E, cells=cells[:n_cells])
+
+
+# ---------------------------------------------------------------------------
+# Job state machine
+
+
+def test_job_walks_the_happy_path():
+    job = _job()
+    assert job.state is JobState.QUEUED and not job.is_terminal
+    assert job.cell_states == [CELL_PENDING, CELL_PENDING]
+    job.transition(JobState.RUNNING)
+    assert job.started is not None and job.finished is None
+    job.transition(JobState.DONE)
+    assert job.is_terminal and job.finished is not None
+    assert job.summary()["wall_seconds"] >= 0
+
+
+def test_job_rejects_forbidden_edges():
+    job = _job()
+    with pytest.raises(InvalidTransition, match="queued -> done"):
+        job.transition(JobState.DONE)
+    with pytest.raises(InvalidTransition):
+        job.transition(JobState.FAILED)
+    job.transition(JobState.RUNNING)
+    with pytest.raises(InvalidTransition, match="running -> queued"):
+        job.transition(JobState.QUEUED)
+    job.transition(JobState.FAILED)
+    for sink_escape in JobState:
+        with pytest.raises(InvalidTransition):
+            job.transition(sink_escape)
+
+
+def test_job_queued_can_be_cancelled_directly():
+    job = _job()
+    job.transition(JobState.CANCELLED)
+    assert job.state is JobState.CANCELLED and job.is_terminal
+
+
+def test_job_summary_counts_cells():
+    job = _job()
+    job.cell_states[0] = "done"
+    summary = job.summary()
+    assert summary["cells"] == {
+        "total": 2,
+        "pending": 1,
+        "done": 1,
+        "failed": 0,
+        "cancelled": 0,
+    }
+
+
+def test_cell_key_is_the_cache_content_key():
+    a, b = E2E.cells()
+    assert cell_key(a) != cell_key(b)  # different split layers
+    assert cell_key(a) == cell_key(E2E.cells()[0])  # pure function of spec
+    attack_cells = ATTACK_E2E.cells()
+    assert len({cell_key(c) for c in attack_cells}) == len(attack_cells)
+
+
+# ---------------------------------------------------------------------------
+# Spec envelope round trip
+
+
+@pytest.mark.parametrize("spec", [E2E, ATTACK_E2E], ids=["campaign", "attacks"])
+def test_spec_payload_round_trips_through_json(spec):
+    envelope = json.loads(json.dumps(spec_payload(spec)))
+    assert parse_spec_payload(envelope) == spec
+
+
+def test_parse_spec_payload_rejects_bad_envelopes():
+    with pytest.raises(ValueError, match="kind"):
+        parse_spec_payload({"spec": {}})
+    with pytest.raises(ValueError, match="kind"):
+        parse_spec_payload({"kind": "nope", "spec": {}})
+    with pytest.raises(ValueError):
+        parse_spec_payload({"kind": "campaign", "spec": {"benchmarks": 3}})
+    with pytest.raises(TypeError):
+        spec_payload("not a spec")
+
+
+def test_service_config_validation(monkeypatch):
+    with pytest.raises(ValueError, match="port"):
+        ServiceConfig(port=70000)
+    with pytest.raises(ValueError, match="workers"):
+        ServiceConfig(workers=0)
+    with pytest.raises(ValueError, match="max_jobs"):
+        ServiceConfig(max_jobs=0)
+    monkeypatch.setenv("REPRO_SERVICE_HOST", "0.0.0.0")
+    monkeypatch.setenv("REPRO_SERVICE_PORT", "9000")
+    monkeypatch.setenv("REPRO_SERVICE_MAX_JOBS", "7")
+    config = ServiceConfig.from_env()
+    assert (config.host, config.port, config.max_jobs) == ("0.0.0.0", 9000, 7)
+    # explicit arguments beat the environment
+    assert ServiceConfig.from_env(port=0).port == 0
+
+
+# ---------------------------------------------------------------------------
+# End to end over real HTTP
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServiceConfig(
+        port=0,
+        workers=2,
+        cache_dir=tmp_path_factory.mktemp("service-cache"),
+    )
+    with ServiceThread(config) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+def _streamed(client, spec_or_envelope):
+    summary = client.submit(spec_or_envelope)
+    results, errors, done = [], [], None
+    for record in client.stream(summary["id"]):
+        if record["event"] == "result":
+            results.append(record)
+        elif record["event"] == "error":
+            errors.append(record)
+        else:
+            done = record["job"]
+    results.sort(key=lambda r: r["index"])
+    return summary, results, errors, done
+
+
+def test_http_stream_matches_in_process_execution(client, server):
+    summary, results, errors, done = _streamed(client, E2E)
+    assert summary["kind"] == "campaign" and summary["cells"]["total"] == 2
+    assert not errors and done["state"] == "done"
+    assert [r["index"] for r in results] == [0, 1]
+
+    reference = run_campaign(E2E, workers=1, use_cache=False)
+    expected = [cell_record(r) for r in reference.cells]
+    stripped = [
+        {k: v for k, v in r.items() if k not in ("event", "index")}
+        for r in results
+    ]
+    assert canonical_json(stripped) == canonical_json(expected)
+
+    # the buffered-results endpoint agrees with the stream
+    payload = client.results(summary["id"])
+    assert payload["partial"] is False
+    assert canonical_json(
+        [
+            {k: v for k, v in r.items() if k not in ("event", "index")}
+            for r in payload["results"]
+        ]
+    ) == canonical_json(expected)
+
+
+def test_attack_job_over_http(client):
+    summary, results, errors, done = _streamed(client, ATTACK_E2E)
+    assert summary["kind"] == "attacks"
+    assert not errors and done["state"] == "done"
+    assert {r["cell"]["scenario"]["name"] for r in results} == {
+        "netflow",
+        "random",
+    }
+    assert all("ccr" in r and "pnr" in r for r in results)
+
+
+def test_concurrent_identical_jobs_are_deduped(client):
+    fresh = CampaignSpec(
+        benchmarks=("random:i9-o4-g70",),
+        split_layers=(4, 6),
+        key_bits=(10,),
+        scale=1.0,
+        hd_patterns=256,
+        max_candidates=60,
+    )
+    before = client.metrics()
+    first = client.submit(fresh)
+    second = client.submit(fresh)  # submitted while the first is in flight
+    assert first["id"] != second["id"]
+    records = {}
+    for summary in (first, second):
+        streamed = [
+            r for r in client.stream(summary["id"]) if r["event"] == "result"
+        ]
+        streamed.sort(key=lambda r: r["index"])
+        records[summary["id"]] = canonical_json(
+            [
+                {k: v for k, v in r.items() if k not in ("event", "index")}
+                for r in streamed
+            ]
+        )
+    assert records[first["id"]] == records[second["id"]]
+    after = client.metrics()
+    unique = len(fresh.cells())
+    assert (
+        after["cells"]["computed"] - before["cells"]["computed"] == unique
+    )
+    assert (
+        after["cells"]["deduped"] - before["cells"]["deduped"] == unique
+    )
+    # exactly-once at the artifact level too: one run-stage store each
+    run_stage = after["cache"]["stages"]["run"]
+    assert run_stage["misses"] == run_stage["stores"]
+
+
+def test_cancel_pending_job(client):
+    spec = CampaignSpec(
+        benchmarks=("random:i10-o5-g80", "random:i11-o5-g85"),
+        split_layers=(4, 6),
+        key_bits=(10,),
+        scale=1.0,
+        hd_patterns=256,
+        max_candidates=60,
+    )
+    summary = client.submit(spec)
+    response = client.cancel(summary["id"])
+    assert response["cancelled"] is True
+    final = client.wait(summary["id"], timeout=120)
+    assert final["state"] == "cancelled"
+    assert final["cells"]["cancelled"] > 0
+    # cancelling a finished job is a no-op
+    assert client.cancel(summary["id"])["cancelled"] is False
+
+
+def test_http_error_surfaces(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("j9999-nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"kind": "nope", "spec": {}})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("POST", "/healthz")
+    assert excinfo.value.status == 405
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/nowhere")
+    assert excinfo.value.status == 404
+
+
+def test_health_metrics_and_job_listing(client):
+    health = client.health()
+    assert health["status"] == "ok" and health["workers"] == 2
+    metrics = client.metrics()
+    assert metrics["jobs"]["submitted"] >= 1
+    assert metrics["cells"]["completed"] >= 1
+    assert metrics["cache"]["stages"]  # per-stage breakdown present
+    listed = client.jobs()
+    assert any(j["state"] == "done" for j in listed)

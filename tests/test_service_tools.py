@@ -1,0 +1,78 @@
+"""Service CI tooling: ping/verify/stress through their real entry points.
+
+These run the same code paths as the CI ``service-smoke`` and
+``cache-stress`` jobs, scaled down: a self-hosted server on an
+ephemeral port, the real CLI subprocess as the bit-identity reference,
+and real client OS processes for the stress round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.spec import CampaignSpec
+from repro.service import ServiceConfig, ServiceThread
+from repro.service.__main__ import main as tools_main
+from repro.service.verify import run_verify
+
+import repro.service.stress as stress_mod
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServiceConfig(
+        port=0,
+        workers=2,
+        cache_dir=tmp_path_factory.mktemp("tools-cache"),
+    )
+    with ServiceThread(config) as thread:
+        yield thread
+
+
+def test_ping_tool(server):
+    assert tools_main(["ping", "--url", server.url, "--timeout", "30"]) == 0
+
+
+def test_verify_cold_then_cached(server, tmp_path):
+    cli_cache = tmp_path / "cli-cache"
+    assert (
+        run_verify(
+            server.url, cli_cache_dir=cli_cache, workers=1
+        )
+        == 0
+    )
+    # the smoke cells are now in the service cache: the rerun must be
+    # served entirely from it (zero new misses)
+    assert (
+        tools_main(
+            [
+                "verify",
+                "--url",
+                server.url,
+                "--cli-cache-dir",
+                str(cli_cache),
+                "--workers",
+                "1",
+                "--expect-cached",
+            ]
+        )
+        == 0
+    )
+
+
+def test_stress_scaled_down(monkeypatch):
+    monkeypatch.setattr(
+        stress_mod,
+        "STRESS_SPEC",
+        CampaignSpec(
+            benchmarks=("random:i9-o5-g75",),
+            split_layers=(4, 6),
+            key_bits=(10,),
+            scale=1.0,
+            hd_patterns=256,
+            max_candidates=60,
+        ),
+    )
+    assert stress_mod.run_stress(clients=2, workers=2, rounds=1) == 0
+    with pytest.raises(ValueError, match="at least 2"):
+        stress_mod.run_stress(clients=1)
