@@ -1,0 +1,118 @@
+"""Whole-campaign wall clock: grid fusion vs the legacy per-cell path.
+
+Runs one sibling-heavy grid — ten cells over a single lock/layout,
+differing only in ``hd_seed`` — through :func:`repro.runner.run_campaign`
+twice: once unfused (one task per cell, the legacy path) and once fused
+(``fuse=True``: the grid compiler groups the siblings and executes them
+over shared in-memory artifacts and batched array sweeps).  Both passes
+run serial and cacheless, so the measured ratio is purely the fusion
+win, not disk-cache or pool effects.
+
+The two result sets must be **bit-identical** (canonical JSON equal,
+wall-clock keys stripped) — the benchmark doubles as a differential
+test.  Emits ``BENCH_campaign.json`` gated by ``check_regression.py``:
+``fuse_speedup`` may not regress below 60% of baseline.
+
+Usage::
+
+    python benchmarks/bench_campaign.py --quick    # CI: six siblings
+    python benchmarks/bench_campaign.py            # full ten-sibling grid
+    python benchmarks/bench_campaign.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner import run_campaign  # noqa: E402
+from repro.runner.grid import plan_campaign  # noqa: E402
+from repro.runner.serialize import canonical_json, result_record  # noqa: E402
+from repro.runner.spec import CellSpec  # noqa: E402
+
+#: Lock/layout-heavy base cell: the shared stages dominate, which is
+#: exactly the shape campaign grids have (few locks, many seed cells).
+BASE = CellSpec(
+    benchmark="random:i14-o8-g200",
+    split_layer=4,
+    key_bits=16,
+    hd_patterns=512,
+    max_candidates=200,
+)
+
+
+def sibling_grid(count: int) -> list[CellSpec]:
+    """*count* cells over one lock/layout, differing only in hd_seed."""
+    return [replace(BASE, hd_seed=BASE.hd_seed + i) for i in range(count)]
+
+
+def run_once(cells: list[CellSpec], fuse: bool):
+    start = time.perf_counter()
+    result = run_campaign(cells, workers=1, use_cache=False, fuse=fuse)
+    return result, time.perf_counter() - start
+
+
+def verify(unfused, fused) -> None:
+    """Fused results must be canonical-JSON identical to unfused."""
+    want = canonical_json([result_record(r) for r in unfused.cells])
+    got = canonical_json([result_record(r) for r in fused.cells])
+    if want != got:
+        raise AssertionError("fused campaign diverged from unfused results")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset (six siblings instead of ten)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_campaign.json",
+    )
+    args = parser.parse_args(argv)
+
+    cells = sibling_grid(6 if args.quick else 10)
+    plan = plan_campaign(cells)
+    print(f"plan: {plan.describe()}")
+
+    unfused, unfused_seconds = run_once(cells, fuse=False)
+    fused, fused_seconds = run_once(cells, fuse=True)
+    verify(unfused, fused)
+
+    speedup = unfused_seconds / max(fused_seconds, 1e-9)
+    print(f"{'cell':>28} {'hd_seed':>8} {'unfused s':>10} {'fused s':>8}")
+    for a, b in zip(unfused.cells, fused.cells):
+        print(
+            f"{a.cell.cell_id:>28} {a.cell.hd_seed:>8} "
+            f"{a.seconds:>10.3f} {b.seconds:>8.3f}"
+        )
+
+    payload = {
+        "workload": "sibling campaign grid, per-cell vs grid-fused",
+        "quick": args.quick,
+        "plan": plan.describe(),
+        "cells": len(cells),
+        "sibling_groups": len(plan.groups),
+        "unfused_wall_seconds": unfused_seconds,
+        "fused_wall_seconds": fused_seconds,
+        "fuse_speedup": speedup,
+        "bit_identical": True,  # verify() raised otherwise
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"unfused {unfused_seconds:.2f}s -> fused {fused_seconds:.2f}s "
+        f"({speedup:.1f}x, bit-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -99,6 +99,15 @@ GATES: dict[str, tuple[Metric, ...]] = {
             tolerance=ABSOLUTE_TOLERANCE,
         ),
     ),
+    "BENCH_campaign": (
+        Metric("fuse_speedup", lambda p: p["fuse_speedup"]),
+        Metric(
+            "fused_wall_seconds",
+            lambda p: p["fused_wall_seconds"],
+            direction="lower",
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+    ),
     "BENCH_layout": (
         Metric(
             "largest_profile_speedup",

@@ -21,8 +21,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Mapping
 
-import numpy as np
-
 from repro.adversary.engine import AttackContext, get_engine
 from repro.adversary.scenario import Scenario
 from repro.attacks.postprocess import reconnect_key_gates_to_ties
@@ -195,16 +193,18 @@ def grid_verdict(
 ) -> tuple[bool, list[str]]:
     """The smoke acceptance, shared by the CLI and the benchmark.
 
-    *outcomes* is keyed ``(benchmark, split, key_bits, scenario)`` (the
-    shape of :meth:`AttackCampaignResult.outcomes`).  Per grid cell,
-    every non-floor connection-recovering scenario must strictly beat
-    the floor's regular CCR, and every simulated outcome must have
-    stayed on the compiled core.  Returns ``(ok, problems)``.
+    *outcomes* is keyed ``(*cell_key, scenario)`` with the scenario name
+    last (the shape of :meth:`AttackCampaignResult.outcomes` — the cell
+    key carries the grid axes plus every seed).  Per grid cell, every
+    non-floor connection-recovering scenario must strictly beat the
+    floor's regular CCR, and every simulated outcome must have stayed
+    on the compiled core.  Returns ``(ok, problems)``.
     """
     problems: list[str] = []
     grid: dict[tuple, dict[str, AttackOutcome]] = {}
-    for (bench, split, bits, scenario), outcome in outcomes.items():
-        grid.setdefault((bench, split, bits), {})[scenario] = outcome
+    for key, outcome in outcomes.items():
+        *cell_key, scenario = key
+        grid.setdefault(tuple(cell_key), {})[scenario] = outcome
     for key, by_scenario in sorted(grid.items()):
         floor = by_scenario.get(floor_scenario)
         if floor is None:

@@ -14,7 +14,7 @@ from repro.atpg.patterns import (
     enumerate_failing_patterns,
     verify_cover_exactness,
 )
-from repro.atpg.podem import PodemEngine, PodemResult
+from repro.atpg.podem import PodemEngine, PodemResult, confirm_test_cubes
 
 __all__ = [
     "Cube",
@@ -26,6 +26,7 @@ __all__ = [
     "StuckAtFault",
     "all_faults",
     "collapse_faults",
+    "confirm_test_cubes",
     "cover_care_bits",
     "cover_minterms",
     "enumerate_failing_patterns",

@@ -32,6 +32,9 @@ class PodemResult:
     status: str  # "detected" | "redundant" | "aborted"
     test_cube: dict[str, int] | None = None
     backtracks: int = 0
+    #: Set by :func:`confirm_test_cubes`: the cube provably detects the
+    #: fault under every checked X-fill (``None`` until confirmed).
+    confirmed: bool | None = None
 
     @property
     def detected(self) -> bool:
@@ -247,3 +250,59 @@ class PodemEngine:
                 # (deepest) X input first.
                 net = max(x_inputs, key=self._depth_cost.__getitem__)
                 value = 1 - ctrl if ctrl is not None else value
+
+
+def confirm_test_cubes(
+    circuit: Circuit,
+    results: list[PodemResult],
+    fills: tuple[int, ...] = (0, 1),
+) -> list[PodemResult]:
+    """Confirm detected cubes through the compiled engine, all at once.
+
+    PODEM's five-valued search *derives* that a cube detects its fault;
+    this replays every (cube, X-fill) pair through the real simulator
+    and checks the claim — the good machine is column 0 of one
+    :meth:`~repro.sim.compiled.CompiledCircuit.simulate_batch_array`
+    call, each fault one override column, each (cube, fill) one lane.
+    A cube is confirmed only if good and faulty outputs differ at its
+    lanes for **every** fill.  Sets :attr:`PodemResult.confirmed` in
+    place on the detected results and returns *results*.
+    """
+    import numpy as np
+
+    from repro.sim.compiled import compile_circuit
+
+    detected = [
+        r for r in results if r.detected and r.test_cube is not None
+    ]
+    if not detected:
+        return results
+    engine = compile_circuit(circuit)
+    per_cube = len(fills)
+    lanes = len(detected) * per_cube
+    input_words: dict[str, int] = {}
+    for net in circuit.inputs:
+        word = 0
+        for i, result in enumerate(detected):
+            for f, fill in enumerate(fills):
+                if result.test_cube.get(net, fill):
+                    word |= 1 << (i * per_cube + f)
+        input_words[net] = word
+    all_lanes = (1 << lanes) - 1
+    override_sets = [None] + [
+        {r.fault.net: all_lanes if r.fault.value else 0} for r in detected
+    ]
+    buf = engine.simulate_batch_array(input_words, lanes, override_sets)
+    outputs = buf[engine.output_slots]
+    good = outputs[:, 0, :]
+    for i, result in enumerate(detected):
+        diff = np.bitwise_or.reduce(good ^ outputs[:, i + 1, :], axis=0)
+        confirmed = True
+        for f in range(per_cube):
+            lane = i * per_cube + f
+            word, bit = divmod(lane, 64)
+            if not (int(diff[word]) >> bit) & 1:
+                confirmed = False
+                break
+        result.confirmed = confirmed
+    return results

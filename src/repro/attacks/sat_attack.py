@@ -41,19 +41,66 @@ class SatFutilityReport:
         return self.keys_probed == self.keys_consistent
 
 
+def _witness_consistency(
+    freed, encoding, tie_cells: tuple[str, ...], guesses: list[list[int]]
+) -> int:
+    """Count keys with a *verified* satisfying model, via one batched sweep.
+
+    The classic probe runs one CDCL solve per sampled key.  But the
+    freed circuit is a total function: simulating it under a key guess
+    *constructs* a model — the CDCL search is pure overhead.  One
+    :meth:`~repro.sim.compiled.CompiledCircuit.simulate_batch_array`
+    call carries every guess as an override column; each column's trace
+    is extended over the encoding's auxiliary XOR variables and then
+    genuinely checked against every CNF clause
+    (:meth:`~repro.sat.cnf.Cnf.evaluate`), so consistency is proven,
+    not assumed.
+    """
+    from repro.sim.compiled import compile_circuit
+
+    engine = compile_circuit(freed)
+    # All-zero stimulus for every primary input (the freed TIE inputs
+    # included); each guess is one override column forcing the ties.
+    stimulus = {net: 0 for net in freed.inputs}
+    override_sets = [
+        {tie: (1 if bit else 0) for tie, bit in zip(tie_cells, guess)}
+        for guess in guesses
+    ]
+    buf = engine.simulate_batch_array(stimulus, 1, override_sets)
+    consistent = 0
+    for column in range(len(guesses)):
+        assignment = {
+            encoding.var_of[net]: bool(int(buf[slot, column, 0]) & 1)
+            for slot, net in enumerate(engine.nets)
+        }
+        encoding.extend_with_aux(assignment)
+        if encoding.cnf.evaluate(assignment):
+            consistent += 1
+    return consistent
+
+
 def demonstrate_sat_futility(
     locked: LockedCircuit,
     sample_keys: int = 16,
     seed: int = 2019,
+    method: str = "witness",
 ) -> SatFutilityReport:
     """Show that without an oracle, SAT cannot rule out any key.
 
-    For each sampled key we assert its TIE polarities in the locked
-    circuit's CNF and check satisfiability: a key would only be refutable
-    if the CNF became UNSAT, which never happens for a well-formed
-    netlist.  Consequently the SAT attack's distinguishing-input loop
-    cannot even start.
+    For each sampled key we check that the locked CNF is satisfiable
+    under its TIE polarities: a key would only be refutable if the CNF
+    became UNSAT, which never happens for a well-formed netlist.
+    Consequently the SAT attack's distinguishing-input loop cannot even
+    start.
+
+    *method* selects how satisfiability is established — ``"witness"``
+    (default) simulates all sampled keys in one batched array sweep and
+    verifies each trace against the CNF; ``"cdcl"`` runs the original
+    per-key CDCL solves.  Both draw keys from the same stream and
+    produce identical reports (the differential test enforces it).
     """
+    if method not in ("witness", "cdcl"):
+        raise ValueError(f"unknown sat-futility method {method!r}")
     rng = rng_for(seed, "sat-futility", locked.circuit.name)
     base = locked.with_key([0] * locked.key_length, name="satprobe")
     # Encode once with free TIE polarities: replace each TIE cell with a
@@ -71,16 +118,24 @@ def demonstrate_sat_futility(
         freed.add_output(net)
     encoding = encode_circuit(freed)
 
-    consistent = 0
-    for _ in range(sample_keys):
-        guess = [rng.randrange(2) for _ in range(locked.key_length)]
-        assumptions = [
-            encoding.literal(tie, value)
-            for tie, value in zip(locked.tie_cells, guess)
-        ]
-        result = solve_cnf(encoding.cnf, assumptions=assumptions)
-        if result.sat:
-            consistent += 1
+    guesses = [
+        [rng.randrange(2) for _ in range(locked.key_length)]
+        for _ in range(sample_keys)
+    ]
+    if method == "witness":
+        consistent = _witness_consistency(
+            freed, encoding, locked.tie_cells, guesses
+        )
+    else:
+        consistent = 0
+        for guess in guesses:
+            assumptions = [
+                encoding.literal(tie, value)
+                for tie, value in zip(locked.tie_cells, guess)
+            ]
+            result = solve_cnf(encoding.cnf, assumptions=assumptions)
+            if result.sat:
+                consistent += 1
     return SatFutilityReport(
         keys_probed=sample_keys,
         keys_consistent=consistent,

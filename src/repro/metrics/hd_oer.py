@@ -13,6 +13,7 @@ default to a scaled count and accept the full budget).
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.netlist.circuit import Circuit
@@ -104,6 +105,38 @@ def compute_hd_oer(
 #: fusing only amortizes per-sweep overhead over more lanes.
 _SUPERCHUNK = 4
 
+#: Active reference-sweep memo (``None`` outside the context manager):
+#: maps (reference engine identity, patterns, seed, chunk) to the
+#: recorded per-flush stimulus and reference output rows.
+_REFERENCE_MEMO: dict | None = None
+
+
+@contextmanager
+def shared_reference_sweeps():
+    """Reuse the reference machine's sweeps across sibling evaluations.
+
+    Sibling grid cells compare many *recovered* netlists against the
+    **same** original machine with the same (patterns, seed, chunk)
+    budget; re-simulating the reference per sibling is pure waste.
+    Inside this context, :func:`compute_hd_oer`'s compiled path records
+    each flush's stimulus arrays and reference output rows on first
+    use and replays them for later calls that share the reference
+    engine and the exact pattern budget.
+
+    Bit-identical by construction: the stimulus is replayed from the
+    recorded arrays (same RNG stream, same chunk fusion) and the
+    reference rows are the very arrays the first call computed.  The
+    memo is scoped to the ``with`` block, so memory is bounded by one
+    sibling group's reference sweeps.
+    """
+    global _REFERENCE_MEMO
+    previous = _REFERENCE_MEMO
+    _REFERENCE_MEMO = {}
+    try:
+        yield
+    finally:
+        _REFERENCE_MEMO = previous
+
 
 def _compute_hd_oer_compiled(
     engine_a, engine_b, inputs, patterns, seed, chunk
@@ -112,11 +145,33 @@ def _compute_hd_oer_compiled(
 
     from repro.sim.compiled import int_to_lanes, popcount
 
-    rng = random.Random(seed)
     num_outputs = len(engine_a.outputs)
     differing_bits = 0
     erroneous_patterns = 0
     total_patterns = 0
+
+    memo = _REFERENCE_MEMO
+    memo_key = (id(engine_a), patterns, seed, chunk)
+    replay = memo.get(memo_key) if memo is not None else None
+    if replay is not None:
+        # Reference rows and stimulus were recorded by a sibling's
+        # evaluation — only the recovered machine needs simulating.
+        for arrays, lanes_total, rows_a in replay:
+            diff = rows_a ^ engine_b.output_word_arrays(arrays, lanes_total)
+            differing_bits += popcount(diff)
+            erroneous_patterns += popcount(np.bitwise_or.reduce(diff, axis=0))
+            total_patterns += lanes_total
+        total_bits = total_patterns * num_outputs
+        hd = 100.0 * differing_bits / total_bits if total_bits else 0.0
+        oer = (
+            100.0 * erroneous_patterns / total_patterns
+            if total_patterns
+            else 0.0
+        )
+        return HdOerReport(hd, oer, total_patterns, engine="compiled")
+
+    recorded: list = [] if memo is not None else None
+    rng = random.Random(seed)
     # Chunks can only be fused at uint64 word boundaries; a ragged chunk
     # size falls back to one sweep per chunk.
     fuse = _SUPERCHUNK if chunk % 64 == 0 else 1
@@ -137,9 +192,10 @@ def _compute_hd_oer_compiled(
                 for net in inputs
             }
         # One conversion feeds both machines (identical input interface).
-        diff = engine_a.output_word_arrays(
-            arrays, lanes_total
-        ) ^ engine_b.output_word_arrays(arrays, lanes_total)
+        rows_a = engine_a.output_word_arrays(arrays, lanes_total)
+        diff = rows_a ^ engine_b.output_word_arrays(arrays, lanes_total)
+        if recorded is not None:
+            recorded.append((arrays, lanes_total, rows_a))
         differing_bits += popcount(diff)
         erroneous_patterns += popcount(np.bitwise_or.reduce(diff, axis=0))
         total_patterns += lanes_total
@@ -150,6 +206,8 @@ def _compute_hd_oer_compiled(
         if len(pending) >= fuse or lanes % 64 != 0:
             flush()
     flush()
+    if memo is not None:
+        memo[memo_key] = recorded
 
     total_bits = total_patterns * num_outputs
     hd = 100.0 * differing_bits / total_bits if total_bits else 0.0

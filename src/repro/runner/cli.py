@@ -108,7 +108,15 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         paper4, paper6 = PAPER_TABLE1[name]
         row = [name]
         for split, paper in ((4, paper4), (6, paper6)):
-            ccr = runs[(name, split, spec.key_bits[0])].ccr
+            key = (
+                name,
+                split,
+                spec.key_bits[0],
+                spec.seed,
+                spec.hd_seed,
+                spec.postprocess_seed,
+            )
+            ccr = runs[key].ccr
             row += [
                 paper_vs_measured(paper[0], round(ccr.key_logical_ccr)),
                 paper_vs_measured(paper[1], round(ccr.key_physical_ccr)),
@@ -135,7 +143,15 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         paper4, paper6 = PAPER_TABLE2[name]
         row = [name]
         for split, paper in ((4, paper4), (6, paper6)):
-            report = runs[(name, split, spec.key_bits[0])].hd_oer
+            key = (
+                name,
+                split,
+                spec.key_bits[0],
+                spec.seed,
+                spec.hd_seed,
+                spec.postprocess_seed,
+            )
+            report = runs[key].hd_oer
             row += [
                 paper_vs_measured(paper[0], round(report.hd_percent)),
                 paper_vs_measured(paper[1], round(report.oer_percent)),

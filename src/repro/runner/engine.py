@@ -23,9 +23,10 @@ serial loop with the same results.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
@@ -48,7 +49,7 @@ from repro.runner.stages import (
     locked_design,
 )
 from repro.utils.artifact_cache import ArtifactCache, CacheStats
-from repro.utils.env import env_int
+from repro.utils.env import env_flag, env_int
 
 
 @dataclass
@@ -68,12 +69,16 @@ class CampaignResult:
     cells: list[CellResult] = field(default_factory=list)
     wall_seconds: float = 0.0
 
-    def runs(self) -> dict[tuple[str, int, int], BenchRun]:
-        """Metrics keyed by (benchmark, split_layer, key_bits)."""
-        return {
-            (r.cell.benchmark, r.cell.split_layer, r.cell.key_bits): r.run
-            for r in self.cells
-        }
+    def runs(
+        self,
+    ) -> dict[tuple[str, int, int, int, int, int], BenchRun]:
+        """Metrics keyed by :attr:`CellSpec.result_key`.
+
+        The key carries every seed — (benchmark, split_layer, key_bits,
+        seed, hd_seed, postprocess_seed) — so grid cells that differ
+        only in a seed cannot silently overwrite each other.
+        """
+        return {r.cell.result_key: r.run for r in self.cells}
 
     def cache_stats(self) -> CacheStats:
         total = CacheStats()
@@ -101,17 +106,14 @@ class AttackCampaignResult:
 
     def outcomes(
         self,
-    ) -> dict[tuple[str, int, int, str], AttackOutcome]:
-        """Keyed by (benchmark, split_layer, key_bits, scenario)."""
-        return {
-            (
-                r.cell.cell.benchmark,
-                r.cell.cell.split_layer,
-                r.cell.cell.key_bits,
-                r.cell.scenario.name,
-            ): r.outcome
-            for r in self.cells
-        }
+    ) -> dict[tuple[str, int, int, int, int, int, str], AttackOutcome]:
+        """Keyed by :attr:`AttackCellSpec.result_key`.
+
+        The base cell's :attr:`CellSpec.result_key` (seeds included)
+        with the scenario name appended last, so duplicate-benchmark
+        grids differing only in a seed stay distinct.
+        """
+        return {r.cell.result_key: r.outcome for r in self.cells}
 
     def cache_stats(self) -> CacheStats:
         total = CacheStats()
@@ -120,12 +122,72 @@ class AttackCampaignResult:
         return total
 
 
+class CellExecutionError(RuntimeError):
+    """A cell's worker raised; carries which cell failed and the cause.
+
+    *detail* is the rendered original error (raise sites additionally
+    chain the live exception with ``raise ... from``).  ``__reduce__``
+    keeps the exception picklable across the pool boundary — the
+    default reduction would re-call ``__init__`` with the formatted
+    message as ``cell_id``.
+    """
+
+    def __init__(self, cell_id: str, detail: str = "") -> None:
+        message = f"cell {cell_id} failed"
+        super().__init__(f"{message}: {detail}" if detail else message)
+        self.cell_id = cell_id
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.cell_id, self.detail))
+
+
+def _wrap_cell_error(cell, exc: BaseException) -> CellExecutionError:
+    """A :class:`CellExecutionError` naming *cell* with *exc* rendered."""
+    return CellExecutionError(_cell_id(cell), f"{type(exc).__name__}: {exc}")
+
+
 def default_workers() -> int:
-    """``REPRO_WORKERS`` override, else every available CPU."""
+    """``REPRO_WORKERS`` override, else every CPU *this process* may use.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup quota or a pinned affinity mask (both routine in CI
+    containers) it oversubscribes the pool.  Prefer the affinity-aware
+    counts and fall back only where the platform lacks them.
+    """
     override = env_int("REPRO_WORKERS")
     if override is not None:
         return max(1, override)
+    counter = getattr(os, "process_cpu_count", None)  # Python 3.13+
+    if counter is not None:
+        return counter() or 1
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
     return os.cpu_count() or 1
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Explicit start method for worker pools: forkserver, else spawn.
+
+    The platform default (fork on POSIX through 3.13) is unsafe here:
+    the campaign service forks from inside an asyncio process, and
+    fork-after-thread deadlocks are exactly the hazard that made 3.14
+    change the default.  Forkserver keeps POSIX startup cheap (workers
+    fork from a clean server process that preloads this module); spawn
+    is the portable fallback.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods:
+        context = multiprocessing.get_context("forkserver")
+        context.set_forkserver_preload(["repro.runner.engine"])
+        return context
+    return multiprocessing.get_context("spawn")
+
+
+def _cell_id(cell) -> str:
+    """Human-readable identity of any cell kind, for error reports."""
+    cell_id = getattr(cell, "cell_id", None)
+    return cell_id if cell_id is not None else repr(cell)
 
 
 def _open_cache(cache_dir: str | Path | None, use_cache: bool):
@@ -214,7 +276,9 @@ class CampaignExecutor:
         self.workers = max(1, workers if workers is not None else default_workers())
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.use_cache = use_cache
-        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=_mp_context()
+        )
 
     def submit(self, worker: Callable, cell, **kwargs):
         """Submit one cell through *worker*; returns its future."""
@@ -252,10 +316,39 @@ def _map_cells(
     count = workers if workers is not None else default_workers()
     count = max(1, min(count, len(cells) or 1))
     if count == 1:
-        return [worker(c, cache_dir, use_cache, **kwargs) for c in cells]
+        results = []
+        for cell in cells:
+            try:
+                results.append(worker(cell, cache_dir, use_cache, **kwargs))
+            except CellExecutionError:
+                raise
+            except Exception as exc:
+                raise _wrap_cell_error(cell, exc) from exc
+        return results
     with CampaignExecutor(count, cache_dir, use_cache) as executor:
         futures = [executor.submit(worker, c, **kwargs) for c in cells]
+        by_future = dict(zip(futures, cells))
+        # Fail fast: stop at the first worker error, cancel every
+        # not-yet-started sibling, and name the cell that failed
+        # (in-order f.result() collection would block on unrelated
+        # futures and lose the failing cell's identity).
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next((f for f in done if f.exception() is not None), None)
+        if failed is not None:
+            for future in not_done:
+                future.cancel()
+            exc = failed.exception()
+            if isinstance(exc, CellExecutionError):
+                raise exc
+            raise _wrap_cell_error(by_future[failed], exc) from exc
         return [f.result() for f in futures]
+
+
+def _resolve_fuse(fuse: bool | None) -> bool:
+    """Explicit *fuse* argument wins; else the ``REPRO_GRID_FUSE`` knob."""
+    if fuse is not None:
+        return fuse
+    return env_flag("REPRO_GRID_FUSE", default=False)
 
 
 def run_campaign(
@@ -263,11 +356,25 @@ def run_campaign(
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    fuse: bool | None = None,
 ) -> CampaignResult:
-    """Execute every cell of *spec*; results in deterministic spec order."""
+    """Execute every cell of *spec*; results in deterministic spec order.
+
+    With *fuse* (default: the ``REPRO_GRID_FUSE`` env knob) the cells
+    are compiled into sibling groups by :mod:`repro.runner.grid` and
+    executed one group per task, sharing lock/layout artifacts and
+    compiled programs in memory.  Results are bit-identical either way.
+    """
     cells = expand(spec)
     start = time.perf_counter()
-    results = _map_cells(execute_cell, cells, workers, cache_dir, use_cache)
+    if _resolve_fuse(fuse):
+        from repro.runner.grid import run_fused_cells
+
+        results = run_fused_cells(cells, workers, cache_dir, use_cache)
+    else:
+        results = _map_cells(
+            execute_cell, cells, workers, cache_dir, use_cache
+        )
     return CampaignResult(
         cells=results, wall_seconds=time.perf_counter() - start
     )
@@ -278,13 +385,25 @@ def run_attack_campaign(
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    fuse: bool | None = None,
 ) -> AttackCampaignResult:
-    """Execute every scenario cell of *spec*, cell-parallel and cached."""
+    """Execute every scenario cell of *spec*, cell-parallel and cached.
+
+    *fuse* routes through the grid compiler exactly as in
+    :func:`run_campaign`; scenario cells over one (benchmark, split,
+    key_bits, seeds) base are siblings and share their locked design,
+    layout and compiled programs in memory.
+    """
     cells = expand_attack(spec)
     start = time.perf_counter()
-    results = _map_cells(
-        execute_attack_cell, cells, workers, cache_dir, use_cache
-    )
+    if _resolve_fuse(fuse):
+        from repro.runner.grid import run_fused_cells
+
+        results = run_fused_cells(cells, workers, cache_dir, use_cache)
+    else:
+        results = _map_cells(
+            execute_attack_cell, cells, workers, cache_dir, use_cache
+        )
     return AttackCampaignResult(
         cells=results, wall_seconds=time.perf_counter() - start
     )

@@ -1,0 +1,374 @@
+"""The grid compiler: campaign cells planned as a DAG over shared artifacts.
+
+A campaign grid expands into cells whose stage payloads overlap heavily:
+every split layer of one (benchmark, key config) shares the **lock**
+artifact, and every seed/scenario variation over one split shares the
+**layout** on top of it.  The legacy path exploits the overlap only
+through the on-disk cache — each cell re-opens, re-reads and re-unpickles
+the shared artifacts (or, cold and cacheless, recomputes them outright).
+
+:func:`plan_campaign` compiles the cell list into that DAG explicitly:
+cells with equal layout keys form a :class:`SiblingGroup`, groups with
+equal lock keys share a lock node above them.  :func:`run_fused_cells`
+then executes one *group* per task instead of one cell:
+
+* the group's lock and layout are computed **once** and handed to every
+  member in memory (``design=``/``layout=`` on the stage functions), so
+  the compiled simulation programs cached on those circuit objects are
+  reused across members instead of being re-pickled and recompiled;
+* member HD/OER evaluations run inside
+  :func:`repro.metrics.hd_oer.shared_reference_sweeps`, so the original
+  machine's Monte-Carlo sweeps are simulated once per group and each
+  sibling only pays for its own recovered netlist — one batched
+  array-domain comparison per sibling against recorded reference rows;
+* on the pool path, the parent pre-computes each unique lock, exports
+  the oracle's compiled program into
+  :mod:`multiprocessing.shared_memory` and ships workers a kilobyte
+  handle (:mod:`repro.sim.shared`) instead of a pickled circuit.
+
+Everything is bit-identical to the unfused path: the fusion only moves
+*where* shared artifacts are computed and how their programs travel —
+never what is computed.  ``tests/test_grid.py`` enforces the identity
+differentially; ``benchmarks/bench_campaign.py`` tracks the wall-clock
+win under the ``BENCH_campaign`` regression gate.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_EXCEPTION, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.metrics.hd_oer import shared_reference_sweeps
+from repro.runner.engine import (
+    AttackCellResult,
+    CampaignExecutor,
+    CellExecutionError,
+    CellResult,
+    _open_cache,
+    _wrap_cell_error,
+    default_workers,
+)
+from repro.runner.spec import AttackCellSpec, CellSpec
+from repro.runner.stages import (
+    LockedDesign,
+    cell_attack,
+    cell_layout,
+    cell_run,
+    layout_payload,
+    lock_payload,
+    locked_design,
+)
+from repro.sim.compiled import compile_circuit
+from repro.sim.shared import (
+    attach_program,
+    export_program,
+    install_program,
+    release_segment,
+)
+from repro.utils.artifact_cache import CacheStats, StageStats, spec_key
+
+__all__ = [
+    "SiblingGroup",
+    "GridPlan",
+    "plan_campaign",
+    "execute_group",
+    "run_fused_cells",
+]
+
+GridCell = CellSpec | AttackCellSpec
+
+
+def _base_cell(cell: GridCell) -> CellSpec:
+    """The plain cell carrying the lock/layout axes of *cell*."""
+    return cell.cell if isinstance(cell, AttackCellSpec) else cell
+
+
+@dataclass(frozen=True)
+class SiblingGroup:
+    """Cells sharing one layout (and therefore one lock) artifact.
+
+    ``indices`` point into the planned cell list, preserving original
+    order so fused results reassemble into exact spec order.
+    """
+
+    lock_key: str
+    layout_key: str
+    indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """The campaign DAG: cells grouped under shared lock/layout nodes."""
+
+    cells: tuple[GridCell, ...]
+    groups: tuple[SiblingGroup, ...]
+
+    def group_cells(self, group: SiblingGroup) -> tuple[GridCell, ...]:
+        return tuple(self.cells[i] for i in group.indices)
+
+    @property
+    def unique_locks(self) -> int:
+        return len({g.lock_key for g in self.groups})
+
+    def describe(self) -> str:
+        """One-line shape summary for logs and benchmark output."""
+        return (
+            f"{len(self.cells)} cells -> {len(self.groups)} sibling "
+            f"group(s) over {self.unique_locks} unique lock(s)"
+        )
+
+
+def plan_campaign(cells: Iterable[GridCell]) -> GridPlan:
+    """Group *cells* by their layout cache key, preserving first-seen
+    group order and per-group member order (both deterministic functions
+    of the input order, so plans are stable across processes)."""
+    cells = tuple(cells)
+    order: list[str] = []
+    members: dict[str, list[int]] = {}
+    lock_of: dict[str, str] = {}
+    for index, cell in enumerate(cells):
+        base = _base_cell(cell)
+        layout_key = spec_key(layout_payload(base))
+        if layout_key not in members:
+            order.append(layout_key)
+            members[layout_key] = []
+            lock_of[layout_key] = spec_key(lock_payload(base))
+        members[layout_key].append(index)
+    groups = tuple(
+        SiblingGroup(
+            lock_key=lock_of[key],
+            layout_key=key,
+            indices=tuple(members[key]),
+        )
+        for key in order
+    )
+    return GridPlan(cells=cells, groups=groups)
+
+
+# ---------------------------------------------------------------------------
+# Group execution
+
+
+def _stats_snapshot(cache) -> CacheStats:
+    if cache is None:
+        return CacheStats()
+    stats = cache.stats
+    snap = CacheStats(stats.hits, stats.misses, stats.stores)
+    for name, stage in stats.stages.items():
+        snap.stages[name] = StageStats(
+            stage.hits, stage.misses, stage.stores, stage.compute_seconds
+        )
+    return snap
+
+
+def _stats_delta(before: CacheStats, cache) -> CacheStats:
+    """Cache activity since *before* — each member's own attribution."""
+    if cache is None:
+        return CacheStats()
+    after = cache.stats
+    delta = CacheStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        stores=after.stores - before.stores,
+    )
+    for name, stage in after.stages.items():
+        prior = before.stages.get(name, StageStats())
+        moved = StageStats(
+            hits=stage.hits - prior.hits,
+            misses=stage.misses - prior.misses,
+            stores=stage.stores - prior.stores,
+            compute_seconds=stage.compute_seconds - prior.compute_seconds,
+        )
+        if moved.hits or moved.misses or moved.stores:
+            delta.stages[name] = moved
+    return delta
+
+
+def _adopt_oracle(design: LockedDesign, handle) -> None:
+    """Install a shared-memory oracle program onto the group's core."""
+    install_program(design.core, attach_program(handle))
+
+
+def _run_group(
+    cells: Sequence[GridCell],
+    cache,
+    design: LockedDesign | None = None,
+    oracle_handle=None,
+) -> tuple[list[CellResult | AttackCellResult], LockedDesign]:
+    """Execute one sibling group sharing lock/layout/programs in memory.
+
+    Returns the member results (group order) and the group's design so
+    in-process callers can reuse it across groups sharing a lock.
+    """
+    results: list[CellResult | AttackCellResult] = []
+    layout = None
+    with shared_reference_sweeps():
+        for cell in cells:
+            base = _base_cell(cell)
+            start = time.perf_counter()
+            before = _stats_snapshot(cache)
+            try:
+                if design is None:
+                    design = locked_design(base, cache)
+                if oracle_handle is not None:
+                    _adopt_oracle(design, oracle_handle)
+                    oracle_handle = None
+                if layout is None:
+                    layout = cell_layout(base, cache, design=design)
+                if isinstance(cell, AttackCellSpec):
+                    outcome = cell_attack(
+                        cell, cache, design=design, layout=layout
+                    )
+                    results.append(
+                        AttackCellResult(
+                            cell=cell,
+                            outcome=outcome,
+                            seconds=time.perf_counter() - start,
+                            cache=_stats_delta(before, cache),
+                        )
+                    )
+                else:
+                    run = cell_run(cell, cache, design=design, layout=layout)
+                    results.append(
+                        CellResult(
+                            cell=cell,
+                            run=run,
+                            seconds=time.perf_counter() - start,
+                            cache=_stats_delta(before, cache),
+                        )
+                    )
+            except CellExecutionError:
+                raise
+            except Exception as exc:
+                raise _wrap_cell_error(cell, exc) from exc
+    return results, design
+
+
+def execute_group(
+    cells: Sequence[GridCell],
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    oracle_handle=None,
+) -> list[CellResult | AttackCellResult]:
+    """Pool worker: one sibling group end to end (module-level: picklable).
+
+    *oracle_handle*, when present, is a
+    :class:`repro.sim.shared.SharedProgramHandle` for the group core's
+    compiled program — attached zero-copy instead of recompiling.
+    """
+    cache = _open_cache(cache_dir, use_cache)
+    results, _design = _run_group(cells, cache, oracle_handle=oracle_handle)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fused campaign driver
+
+
+def _export_oracles(plan: GridPlan, cache) -> tuple[dict, list]:
+    """Pre-compute each unique lock and export its oracle program.
+
+    Returns handles by lock key plus the live segments (caller releases
+    them after the workers finish).  Pre-computing in the parent also
+    guarantees sibling *groups* sharing a lock never duplicate the lock
+    computation across workers — the cache serves it to every group.
+    """
+    handles: dict[str, object] = {}
+    segments: list = []
+    for group in plan.groups:
+        if group.lock_key in handles:
+            continue
+        base = _base_cell(plan.cells[group.indices[0]])
+        design = locked_design(base, cache)
+        try:
+            program = compile_circuit(design.core)
+        except ValueError:  # sequential core: no compiled program to ship
+            handles[group.lock_key] = None
+            continue
+        handle, segment = export_program(program)
+        segments.append(segment)
+        handles[group.lock_key] = handle
+    return handles, segments
+
+
+def run_fused_cells(
+    cells: Iterable[GridCell],
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> list[CellResult | AttackCellResult]:
+    """Execute *cells* through the grid plan; results in input order.
+
+    Serial (one worker or one group): groups run in-process, reusing
+    designs across groups that share a lock.  Pool: one task per group;
+    the parent pre-computes unique locks and ships compiled oracle
+    programs via shared memory (cache-backed runs only — without a
+    cache there is no channel to hand workers the precomputed design,
+    so each group computes its own lock).
+    """
+    cells = tuple(cells)
+    if not cells:
+        return []
+    plan = plan_campaign(cells)
+    count = workers if workers is not None else default_workers()
+    count = max(1, min(count, len(plan.groups)))
+    ordered: dict[int, CellResult | AttackCellResult] = {}
+
+    if count == 1:
+        cache = _open_cache(cache_dir, use_cache)
+        designs: dict[str, LockedDesign] = {}
+        for group in plan.groups:
+            results, design = _run_group(
+                plan.group_cells(group),
+                cache,
+                design=designs.get(group.lock_key),
+            )
+            designs[group.lock_key] = design
+            for index, result in zip(group.indices, results):
+                ordered[index] = result
+        return [ordered[i] for i in range(len(cells))]
+
+    handles: dict[str, object] = {}
+    segments: list = []
+    try:
+        if use_cache:
+            handles, segments = _export_oracles(
+                plan, _open_cache(cache_dir, use_cache)
+            )
+        with CampaignExecutor(count, cache_dir, use_cache) as executor:
+            futures = [
+                executor.submit(
+                    execute_group,
+                    plan.group_cells(group),
+                    oracle_handle=handles.get(group.lock_key),
+                )
+                for group in plan.groups
+            ]
+            by_future = dict(zip(futures, plan.groups))
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (f for f in done if f.exception() is not None), None
+            )
+            if failed is not None:
+                for future in not_done:
+                    future.cancel()
+                exc = failed.exception()
+                if isinstance(exc, CellExecutionError):
+                    raise exc
+                group = by_future[failed]
+                raise _wrap_cell_error(
+                    plan.cells[group.indices[0]], exc
+                ) from exc
+            for future, group in zip(futures, plan.groups):
+                for index, result in zip(group.indices, future.result()):
+                    ordered[index] = result
+    finally:
+        for segment in segments:
+            release_segment(segment)
+    return [ordered[i] for i in range(len(cells))]

@@ -86,6 +86,23 @@ class CellSpec:
         """Human-readable identity, e.g. ``b14/M4/k128``."""
         return f"{self.benchmark}/M{self.split_layer}/k{self.key_bits}"
 
+    @property
+    def result_key(self) -> tuple[str, int, int, int, int, int]:
+        """Grid identity for result dictionaries: axes *and* seeds.
+
+        Two cells may share (benchmark, split_layer, key_bits) yet
+        differ in a seed; result maps keyed without the seeds would
+        silently collapse them, so every seed rides along.
+        """
+        return (
+            self.benchmark,
+            self.split_layer,
+            self.key_bits,
+            self.seed,
+            self.hd_seed,
+            self.postprocess_seed,
+        )
+
     def lock_config(self) -> AtpgLockConfig:
         """The locking knobs this cell implies (LEC left to the tests)."""
         return AtpgLockConfig(
@@ -207,6 +224,11 @@ class AttackCellSpec:
     def cell_id(self) -> str:
         """Human-readable identity, e.g. ``b14/M4/k128/netflow``."""
         return f"{self.cell.cell_id}/{self.scenario.name}"
+
+    @property
+    def result_key(self) -> tuple[str, int, int, int, int, int, str]:
+        """The base cell's :attr:`CellSpec.result_key` + scenario last."""
+        return (*self.cell.result_key, self.scenario.name)
 
     def to_payload(self) -> dict[str, Any]:
         return {

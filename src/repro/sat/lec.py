@@ -28,6 +28,12 @@ class LecResult:
     method: str  # "simulation" | "sat" | "exhausted-limit"
     counterexample: dict[str, int] | None = None
     sat_stats: object | None = None
+    #: Whether the counterexample was replayed through the simulator and
+    #: genuinely distinguishes the circuits (``None`` when there is no
+    #: counterexample).  Simulation-phase counterexamples are confirmed
+    #: by construction; SAT models are replayed to guard against encoder
+    #: or solver defects.
+    counterexample_confirmed: bool | None = None
 
 
 def build_miter(a: Circuit, b: Circuit) -> tuple[Cnf, dict[str, int], dict[str, int]]:
@@ -97,7 +103,10 @@ def check_equivalence(
             counterexample = {
                 net: (words[net] >> diff_lane) & 1 for net in a.inputs
             }
-            return LecResult(False, "simulation", counterexample)
+            return LecResult(
+                False, "simulation", counterexample,
+                counterexample_confirmed=True,
+            )
     else:
         out_a = output_words(a, words, lanes)
         out_b = output_words(b, words, lanes)
@@ -108,7 +117,10 @@ def check_equivalence(
                 counterexample = {
                     net: (words[net] >> lane) & 1 for net in a.inputs
                 }
-                return LecResult(False, "simulation", counterexample)
+                return LecResult(
+                    False, "simulation", counterexample,
+                    counterexample_confirmed=True,
+                )
 
     # Phase 2: SAT proof on the miter.
     return _prove_equivalence(a, b, conflict_limit)
@@ -142,5 +154,31 @@ def _prove_equivalence(
         counterexample = {
             net: int(model.get(vars_a[net], False)) for net in a.inputs
         }
-        return LecResult(False, "sat", counterexample, sat_stats=result.stats)
+        return LecResult(
+            False,
+            "sat",
+            counterexample,
+            sat_stats=result.stats,
+            counterexample_confirmed=_confirm_counterexample(
+                a, b, counterexample
+            ),
+        )
     return LecResult(None, "exhausted-limit", sat_stats=result.stats)
+
+
+def _confirm_counterexample(
+    a: Circuit, b: Circuit, counterexample: dict[str, int]
+) -> bool:
+    """Replay one counterexample pattern on both circuits.
+
+    True iff some positional output pair differs under the pattern —
+    i.e. the SAT model really witnesses inequivalence and is not an
+    artifact of a miter-encoding defect.
+    """
+    words = {net: counterexample.get(net, 0) for net in a.inputs}
+    out_a = output_words(a, words, 1)
+    out_b = output_words(b, words, 1)
+    return any(
+        out_a[net_a] != out_b[net_b]
+        for net_a, net_b in zip(a.outputs, b.outputs)
+    )

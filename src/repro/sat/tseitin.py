@@ -22,15 +22,48 @@ class CircuitEncoding:
 
     cnf: Cnf
     var_of: dict[str, int] = field(default_factory=dict)
+    #: Auxiliary XOR-chain definitions ``(y, a, b)`` meaning ``y = a ^ b``
+    #: (literals; *y* may be negative), appended in encoding order.  They
+    #: let a *simulation trace* extend to a full CNF assignment: net
+    #: variables come from the trace, and replaying the links in order
+    #: values every auxiliary variable (each link's operands are either
+    #: net variables or earlier links).
+    xor_links: list[tuple[int, int, int]] = field(default_factory=list)
 
     def literal(self, net: str, value: int) -> int:
         """Literal asserting *net* carries *value*."""
         var = self.var_of[net]
         return var if value else -var
 
+    def extend_with_aux(self, assignment: dict[int, bool]) -> dict[int, bool]:
+        """Value the auxiliary XOR-chain variables from net values.
 
-def encode_gate(cnf: Cnf, gate_type: GateType, out: int, fanin: list[int]) -> None:
-    """Append the Tseitin clauses of one gate to *cnf*."""
+        *assignment* must value every net variable; the links are
+        replayed in recorded order, after which the assignment covers
+        every variable of :attr:`cnf` and can be checked with
+        :meth:`~repro.sat.cnf.Cnf.evaluate`.
+        """
+        for y, a, b in self.xor_links:
+            value = (assignment[abs(a)] ^ (a < 0)) ^ (
+                assignment[abs(b)] ^ (b < 0)
+            )
+            assignment[abs(y)] = value ^ (y < 0)
+        return assignment
+
+
+def encode_gate(
+    cnf: Cnf,
+    gate_type: GateType,
+    out: int,
+    fanin: list[int],
+    links: list[tuple[int, int, int]] | None = None,
+) -> None:
+    """Append the Tseitin clauses of one gate to *cnf*.
+
+    *links* (when given) records each XOR-chain definition ``(y, a, b)``
+    so satisfying assignments can later be reconstructed from
+    simulation traces (see :meth:`CircuitEncoding.extend_with_aux`).
+    """
     if gate_type is GateType.TIEHI:
         cnf.add_unit(out)
         return
@@ -81,6 +114,11 @@ def encode_gate(cnf: Cnf, gate_type: GateType, out: int, fanin: list[int]) -> No
             else:
                 y = cnf.new_var()
             _encode_xor2(cnf, y, acc, b)
+            if links is not None and index < len(fanin) - 1:
+                # Only the true auxiliaries are recorded: the final
+                # link targets the gate's own (net) variable, which a
+                # simulation trace already values.
+                links.append((y, acc, b))
             acc = y
         return
     raise ValueError(f"cannot encode gate type {gate_type!r}")
@@ -108,6 +146,7 @@ def encode_circuit(
         raise ValueError("encode the combinational core of sequential designs")
     cnf = cnf if cnf is not None else Cnf()
     var_of = var_of if var_of is not None else {}
+    links: list[tuple[int, int, int]] = []
     for net in circuit.topological_order():
         if net not in var_of:
             var_of[net] = cnf.new_var()
@@ -120,5 +159,6 @@ def encode_circuit(
             gate.gate_type,
             var_of[net],
             [var_of[n] for n in gate.fanin],
+            links=links,
         )
-    return CircuitEncoding(cnf, var_of)
+    return CircuitEncoding(cnf, var_of, links)

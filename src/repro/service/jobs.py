@@ -110,9 +110,16 @@ class Job:
     records: list[dict[str, Any]] = field(default_factory=list)
     error: str | None = None
     cancel_requested: bool = False
+    #: Wall-clock timestamps, *display only* — never subtracted.
     created: float = field(default_factory=time.time)
     started: float | None = None
     finished: float | None = None
+    #: Monotonic counterparts driving every duration computation: the
+    #: wall clock can step (NTP, suspend/resume) between transitions,
+    #: which would corrupt — even negate — ``wall_seconds``.
+    created_monotonic: float = field(default_factory=time.monotonic, repr=False)
+    started_monotonic: float | None = field(default=None, repr=False)
+    finished_monotonic: float | None = field(default=None, repr=False)
     cond: asyncio.Condition = field(default_factory=asyncio.Condition)
 
     def __post_init__(self) -> None:
@@ -135,8 +142,10 @@ class Job:
         self.state = new_state
         if new_state is JobState.RUNNING:
             self.started = time.time()
+            self.started_monotonic = time.monotonic()
         if new_state in TERMINAL_STATES:
             self.finished = time.time()
+            self.finished_monotonic = time.monotonic()
 
     def settled_cells(self) -> int:
         return sum(1 for s in self.cell_states if s in _CELL_TERMINAL)
@@ -155,9 +164,12 @@ class Job:
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
+            # Durations come from the monotonic pair: subtracting wall
+            # timestamps would inherit any clock step between them.
             "wall_seconds": (
-                self.finished - self.started
-                if self.started is not None and self.finished is not None
+                self.finished_monotonic - self.started_monotonic
+                if self.started_monotonic is not None
+                and self.finished_monotonic is not None
                 else None
             ),
             "error": self.error,

@@ -1,0 +1,238 @@
+"""Shared-memory transport for compiled simulation programs.
+
+A :class:`~repro.sim.compiled.CompiledCircuit` is mostly a handful of
+NumPy arrays (bucket fanin-slot matrices, invert masks, output/tie slot
+vectors).  When the grid compiler fans sibling groups out to worker
+processes, re-pickling the circuit per cell — and recompiling the
+program in every worker — is pure waste: the program is immutable and
+identical everywhere.  This module exports a compiled program's arrays
+into **one** :mod:`multiprocessing.shared_memory` segment plus a small
+picklable :class:`SharedProgramHandle`, and reattaches them in workers
+as zero-copy views.
+
+The round trip is exact: attached programs hold the same array contents
+(and the same metadata) as the original, so every sweep is bit-identical
+to one over a locally compiled program.  Lifetime rules:
+
+* the **exporting** process owns the segment — it must keep the returned
+  ``SharedMemory`` alive while workers run and ``close()``/``unlink()``
+  it afterwards (:func:`release_segment`);
+* an **attached** program pins its segment via a reference on the
+  program object, so its arrays stay valid for the program's lifetime.
+
+:func:`install_program` adopts an attached (or otherwise foreign)
+program as a circuit's cached compiled program, after validating that
+the program actually describes that circuit.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.sim.compiled import CompiledCircuit, _Bucket
+
+__all__ = [
+    "SharedProgramHandle",
+    "export_program",
+    "attach_program",
+    "install_program",
+    "release_segment",
+]
+
+
+@dataclass(frozen=True)
+class SharedProgramHandle:
+    """Picklable descriptor of one exported compiled program.
+
+    ``meta`` is a pickled dict of small scalars, name lists and array
+    descriptors (offset, dtype, shape) — kilobytes, not the megabytes a
+    pickled circuit would cost.  The arrays themselves live in the
+    named shared-memory segment.
+    """
+
+    shm_name: str
+    meta: bytes
+
+
+def _descriptors(arrays: list[np.ndarray]) -> tuple[list[int], int]:
+    """8-byte-aligned offsets for *arrays* and the total segment size."""
+    offsets: list[int] = []
+    total = 0
+    for arr in arrays:
+        total = (total + 7) & ~7
+        offsets.append(total)
+        total += arr.nbytes
+    return offsets, total
+
+
+def export_program(
+    compiled: CompiledCircuit,
+) -> tuple[SharedProgramHandle, shared_memory.SharedMemory]:
+    """Export *compiled* into a fresh shared-memory segment.
+
+    Returns the picklable handle (send to workers) and the segment
+    itself (keep alive, then :func:`release_segment`).
+    """
+    arrays: list[np.ndarray] = []
+
+    def put(arr: np.ndarray | None) -> int | None:
+        if arr is None:
+            return None
+        arrays.append(np.ascontiguousarray(arr))
+        return len(arrays) - 1
+
+    buckets = [
+        [
+            {
+                "level": b.level,
+                "op": b.op,
+                "start": b.start,
+                "end": b.end,
+                "src": put(b.src),
+                "inv_mode": b.inv_mode,
+                "inv_mask": put(b.inv_mask),
+            }
+            for b in level_buckets
+        ]
+        for level_buckets in compiled._buckets_by_level
+    ]
+    slot_arrays = {
+        "output_slots": put(compiled.output_slots),
+        "tie_hi": put(compiled._tie_hi),
+        "tie_lo": put(compiled._tie_lo),
+    }
+
+    offsets, total = _descriptors(arrays)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    for arr, offset in zip(arrays, offsets):
+        view = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=segment.buf, offset=offset
+        )
+        view[...] = arr
+
+    meta = {
+        "name": compiled.name,
+        "num_nets": compiled.num_nets,
+        "num_levels": compiled.num_levels,
+        "inputs": compiled.inputs,
+        "outputs": compiled.outputs,
+        "level_of": compiled.level_of,
+        "nets": compiled.nets,
+        "input_slots": compiled._input_slots,
+        "num_buckets": compiled.num_buckets,
+        "buckets": buckets,
+        "slots": slot_arrays,
+        "arrays": [
+            (offset, arr.dtype.str, arr.shape)
+            for arr, offset in zip(arrays, offsets)
+        ],
+    }
+    handle = SharedProgramHandle(
+        shm_name=segment.name,
+        meta=pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+    return handle, segment
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    try:
+        # track=False (3.13+): the attaching process must not register
+        # the segment with its resource tracker — the exporter owns it.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_program(handle: SharedProgramHandle) -> CompiledCircuit:
+    """Rebuild a compiled program over the exporter's segment, zero-copy.
+
+    The returned program is not yet bound to any circuit: its cache
+    token is unset until :func:`install_program` adopts it.
+    """
+    segment = _attach_segment(handle.shm_name)
+    meta = pickle.loads(handle.meta)
+
+    def get(index: int | None) -> np.ndarray | None:
+        if index is None:
+            return None
+        offset, dtype, shape = meta["arrays"][index]
+        return np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+        )
+
+    compiled = CompiledCircuit.__new__(CompiledCircuit)
+    compiled._topo_ref = None
+    compiled.name = meta["name"]
+    compiled.num_nets = meta["num_nets"]
+    compiled.num_levels = meta["num_levels"]
+    compiled.inputs = list(meta["inputs"])
+    compiled.outputs = list(meta["outputs"])
+    compiled.level_of = dict(meta["level_of"])
+    compiled.nets = list(meta["nets"])
+    compiled.index = {net: i for i, net in enumerate(compiled.nets)}
+    compiled.output_slots = get(meta["slots"]["output_slots"])
+    compiled._input_slots = [tuple(item) for item in meta["input_slots"]]
+    compiled._tie_hi = get(meta["slots"]["tie_hi"])
+    compiled._tie_lo = get(meta["slots"]["tie_lo"])
+    compiled.num_buckets = meta["num_buckets"]
+    compiled._buckets_by_level = [
+        [
+            _Bucket(
+                level=b["level"],
+                op=b["op"],
+                start=b["start"],
+                end=b["end"],
+                src=get(b["src"]),
+                inv_mode=b["inv_mode"],
+                inv_mask=get(b["inv_mask"]),
+            )
+            for b in level_buckets
+        ]
+        for level_buckets in meta["buckets"]
+    ]
+    # Pin the segment for the program's lifetime: the bucket arrays are
+    # views into its buffer.
+    compiled._shm = segment
+    return compiled
+
+
+def install_program(
+    circuit: Circuit, compiled: CompiledCircuit
+) -> CompiledCircuit:
+    """Adopt *compiled* as *circuit*'s cached program.
+
+    Validates that the program describes *circuit* (same interface and
+    net set — the slot permutation is a pure function of the levelized
+    structure, so identical content implies an identical program), then
+    rebinds the program's cache token to the circuit's topological
+    order so :func:`~repro.sim.compiled.compile_circuit` returns it
+    until the next structural edit.
+    """
+    topo = circuit.topological_order()
+    if (
+        list(circuit.inputs) != compiled.inputs
+        or list(circuit.outputs) != compiled.outputs
+        or len(topo) != compiled.num_nets
+        or set(topo) != set(compiled.nets)
+    ):
+        raise ValueError(
+            f"compiled program {compiled.name!r} does not describe "
+            f"circuit {circuit.name!r}"
+        )
+    compiled._topo_ref = topo
+    circuit._compiled_cache = compiled
+    return compiled
+
+
+def release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink *segment* (exporter side, after workers finish)."""
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # already unlinked — idempotent cleanup
+        pass

@@ -26,6 +26,13 @@ Knobs:
 * ``REPRO_ATTACK_ENGINE`` — default attack-engine selection for the
   ``attacks`` campaign CLI (validated against the engine registry by
   :mod:`repro.adversary.scenario`).
+* ``REPRO_GRID_FUSE``      — campaign grid fusion (default off).  When
+  set, :func:`repro.runner.engine.run_campaign` routes cells through
+  the grid compiler (:mod:`repro.runner.grid`): sibling cells sharing a
+  lock/layout run as one task over in-memory artifacts and batched
+  array sweeps.  Results are bit-identical to the unfused path; an
+  explicit ``fuse=`` argument on the campaign entry points overrides
+  the knob.
 
 Campaign-service knobs (defaults for ``python -m repro.runner serve``,
 resolved by :mod:`repro.service.config`; CLI flags override them):

@@ -208,3 +208,39 @@ def test_enumerate_flags_large_failing_sets(c17_circuit):
         enumerate_failing_patterns(
             module, StuckAtFault("N16", 1), max_minterms=1
         )
+
+
+def test_confirm_test_cubes_batched(c17_circuit):
+    """One batched array sweep confirms every PODEM cube for every fill."""
+    from repro.atpg import confirm_test_cubes
+
+    engine = PodemEngine(c17_circuit)
+    results = [engine.generate(f) for f in collapse_faults(c17_circuit)]
+    confirm_test_cubes(c17_circuit, results)
+    for result in results:
+        if result.detected:
+            assert result.confirmed is True
+        else:
+            assert result.confirmed is None
+    # A corrupted cube (complemented assignments) must not confirm.
+    victim = next(r for r in results if r.detected)
+    victim.test_cube = {net: 1 - v for net, v in victim.test_cube.items()}
+    confirm_test_cubes(c17_circuit, [victim])
+    assert victim.confirmed is False
+
+
+def test_confirm_test_cubes_random_circuits():
+    from repro.atpg import confirm_test_cubes
+
+    for seed in range(6):
+        circuit = build_random_circuit(seed, num_inputs=6, num_gates=30)
+        engine = PodemEngine(circuit, backtrack_limit=500)
+        results = [engine.generate(f) for f in collapse_faults(circuit)[:24]]
+        confirm_test_cubes(circuit, results)
+        assert all(r.confirmed for r in results if r.detected)
+
+
+def test_confirm_test_cubes_empty_is_noop():
+    from repro.atpg import confirm_test_cubes
+
+    assert confirm_test_cubes(Circuit("empty"), []) == []

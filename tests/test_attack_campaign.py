@@ -76,9 +76,9 @@ def test_parallel_matches_serial(serial_result):
 
 def test_new_engines_beat_random_floor(serial_result):
     outcomes = serial_result.outcomes()
-    floor = next(o for k, o in outcomes.items() if k[3] == "random")
+    floor = next(o for k, o in outcomes.items() if k[-1] == "random")
     for key, outcome in outcomes.items():
-        if key[3] == "random":
+        if key[-1] == "random":
             continue
         assert outcome.ccr.regular_ccr > floor.ccr.regular_ccr, key
 
@@ -168,7 +168,7 @@ def test_grid_verdict_detects_floor_and_fallback(serial_result, monkeypatch):
     ok, problems = grid_verdict(outcomes)
     assert ok, problems
     # a missing random floor is reported
-    partial = {k: v for k, v in outcomes.items() if k[3] != "random"}
+    partial = {k: v for k, v in outcomes.items() if k[-1] != "random"}
     ok, problems = grid_verdict(partial)
     assert not ok and any("floor" in p for p in problems)
     # a forced big-int fallback is *measured*, not assumed away — and

@@ -1,0 +1,192 @@
+"""Grid compiler: sibling planning, fused execution, bit-identity.
+
+The contract under test is strict: fusion may change *where* shared
+artifacts are computed and how compiled programs travel — never what is
+computed.  Every fused/unfused comparison below goes through
+:func:`repro.runner.serialize.canonical_json`, the same canonical form
+CI diffs, so any numeric drift in any metric fails loudly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.benchgen import load_iscas85
+from repro.runner.engine import (
+    CellExecutionError,
+    run_attack_campaign,
+    run_campaign,
+)
+from repro.runner.grid import plan_campaign, run_fused_cells
+from repro.runner.serialize import canonical_json, result_record
+from repro.runner.spec import AttackCampaignSpec, CellSpec
+from repro.sim.compiled import compile_circuit
+from repro.sim.shared import (
+    attach_program,
+    export_program,
+    install_program,
+    release_segment,
+)
+
+BASE = CellSpec(
+    benchmark="random:i10-o5-g90",
+    split_layer=4,
+    key_bits=10,
+    hd_patterns=512,
+    max_candidates=60,
+)
+
+#: Three siblings over one layout plus one cell on its own layout —
+#: two groups over a single lock.
+GRID = [
+    BASE,
+    replace(BASE, hd_seed=6),
+    replace(BASE, hd_seed=7),
+    replace(BASE, split_layer=6),
+]
+
+ATTACKS = AttackCampaignSpec(
+    benchmarks=("random:i10-o5-g90",),
+    scenarios=("netflow", "random"),
+    split_layers=(4,),
+    key_bits=(10,),
+    hd_patterns=512,
+    max_candidates=60,
+)
+
+
+def _canon(result) -> str:
+    return canonical_json([result_record(r) for r in result.cells])
+
+
+# ---------------------------------------------------------------------------
+# Planning
+
+
+def test_plan_groups_siblings_by_layout():
+    plan = plan_campaign(GRID)
+    assert len(plan.groups) == 2
+    assert plan.groups[0].indices == (0, 1, 2)  # hd_seed is not a layout axis
+    assert plan.groups[1].indices == (3,)  # split layer re-keys the layout
+    assert plan.unique_locks == 1  # both splits lock identically
+    assert "4 cells" in plan.describe()
+
+
+def test_plan_groups_attack_scenarios_as_siblings():
+    cells = ATTACKS.cells()
+    plan = plan_campaign(cells)
+    assert len(plan.groups) == 1
+    assert plan.groups[0].indices == tuple(range(len(cells)))
+
+
+def test_plan_preserves_input_order_and_distinct_locks():
+    other = replace(BASE, key_bits=8)
+    plan = plan_campaign([other, BASE])
+    assert [g.indices for g in plan.groups] == [(0,), (1,)]
+    assert plan.unique_locks == 2
+
+
+# ---------------------------------------------------------------------------
+# Fused execution: bit-identity with the legacy path
+
+
+@pytest.fixture(scope="module")
+def unfused_runs():
+    return run_campaign(GRID, workers=1, use_cache=False, fuse=False)
+
+
+def test_fused_serial_bit_identical(unfused_runs):
+    fused = run_campaign(GRID, workers=1, use_cache=False, fuse=True)
+    assert _canon(fused) == _canon(unfused_runs)
+    assert list(fused.runs()) == list(unfused_runs.runs())
+
+
+def test_fused_pool_bit_identical(unfused_runs, tmp_path):
+    """Two workers over a real cache: shared-memory oracle shipping."""
+    fused = run_campaign(
+        GRID, workers=2, cache_dir=tmp_path, use_cache=True, fuse=True
+    )
+    assert _canon(fused) == _canon(unfused_runs)
+
+
+def test_fused_attacks_bit_identical():
+    unfused = run_attack_campaign(
+        ATTACKS, workers=1, use_cache=False, fuse=False
+    )
+    fused = run_attack_campaign(
+        ATTACKS, workers=1, use_cache=False, fuse=True
+    )
+    assert _canon(fused) == _canon(unfused)
+    assert list(fused.outcomes()) == list(unfused.outcomes())
+
+
+def test_fused_empty_grid():
+    assert run_fused_cells([], workers=1, use_cache=False) == []
+
+
+def test_env_knob_routes_through_grid(monkeypatch):
+    import repro.runner.grid as grid_module
+
+    calls = []
+    original = grid_module.run_fused_cells
+
+    def recorder(cells, workers, cache_dir, use_cache):
+        calls.append(tuple(cells))
+        return original(cells, workers, cache_dir, use_cache)
+
+    monkeypatch.setattr(grid_module, "run_fused_cells", recorder)
+    monkeypatch.setenv("REPRO_GRID_FUSE", "1")
+    run_campaign([BASE], workers=1, use_cache=False)
+    assert calls == [(BASE,)]
+    # Explicit fuse=False overrides the knob.
+    run_campaign([BASE], workers=1, use_cache=False, fuse=False)
+    assert len(calls) == 1
+
+
+def test_fused_wraps_member_failure_with_cell_id():
+    bad = replace(BASE, benchmark="random:i6-o4-g40", key_bits=64)
+    with pytest.raises(CellExecutionError) as excinfo:
+        run_fused_cells([BASE, bad], workers=1, use_cache=False)
+    assert excinfo.value.cell_id == bad.cell_id
+    # The exception must survive a pool boundary intact.
+    clone = pickle.loads(pickle.dumps(excinfo.value))
+    assert clone.cell_id == bad.cell_id
+    assert clone.detail == excinfo.value.detail
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory program transport
+
+
+def test_shared_program_round_trip():
+    circuit = load_iscas85("c432", seed=1).combinational_core()
+    compiled = compile_circuit(circuit)
+    handle, segment = export_program(compiled)
+    try:
+        clone = attach_program(handle)
+        stimulus = {net: (1 << 64) - 1 - i for i, net in enumerate(circuit.inputs)}
+        want = compiled.simulate_batch_array(stimulus, 64, [None])
+        got = clone.simulate_batch_array(stimulus, 64, [None])
+        assert (want == got).all()
+        # Install onto a pickle-round-tripped circuit (a worker's copy):
+        # the compiled cache must serve the attached program afterwards.
+        worker_circuit = pickle.loads(pickle.dumps(circuit))
+        install_program(worker_circuit, clone)
+        assert compile_circuit(worker_circuit) is clone
+    finally:
+        release_segment(segment)
+
+
+def test_install_program_rejects_mismatched_circuit():
+    circuit = load_iscas85("c432", seed=1).combinational_core()
+    other = load_iscas85("c17", seed=1).combinational_core()
+    handle, segment = export_program(compile_circuit(circuit))
+    try:
+        clone = attach_program(handle)
+        with pytest.raises(ValueError):
+            install_program(other, clone)
+    finally:
+        release_segment(segment)

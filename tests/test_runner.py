@@ -228,3 +228,72 @@ def test_smoke_campaign_is_single_small_cell():
     cells = smoke_campaign().cells()
     assert len(cells) == 1
     assert cells[0].hd_patterns <= 4096
+
+
+# ---------------------------------------------------------------------------
+# Result keying and worker sizing
+
+
+def test_result_keys_carry_seeds_for_duplicate_benchmark_grids():
+    """Two cells differing only in a seed must not collapse in runs()."""
+    from dataclasses import replace
+
+    from repro.runner.engine import CampaignResult, CellResult
+    from repro.utils.artifact_cache import CacheStats
+
+    base = CellSpec(benchmark="b14", split_layer=4, key_bits=12)
+    twin = replace(base, hd_seed=base.hd_seed + 1)
+    result = CampaignResult(
+        cells=[
+            CellResult(cell=c, run=object(), seconds=0.0, cache=CacheStats())
+            for c in (base, twin)
+        ]
+    )
+    runs = result.runs()
+    assert len(runs) == 2
+    assert base.result_key in runs and twin.result_key in runs
+    assert base.result_key[:3] == twin.result_key[:3] == ("b14", 4, 12)
+
+
+def test_attack_result_keys_distinguish_seed_twins():
+    from dataclasses import replace
+
+    from repro.runner.engine import AttackCampaignResult, AttackCellResult
+    from repro.runner.spec import AttackCampaignSpec
+    from repro.utils.artifact_cache import CacheStats
+
+    cells = AttackCampaignSpec(
+        benchmarks=("b14",), scenarios=("random",), key_bits=(12,)
+    ).cells()
+    twins = [
+        replace(acell, cell=replace(acell.cell, seed=acell.cell.seed + d))
+        for acell in cells
+        for d in (0, 1)
+    ]
+    result = AttackCampaignResult(
+        cells=[
+            AttackCellResult(
+                cell=c, outcome=object(), seconds=0.0, cache=CacheStats()
+            )
+            for c in twins
+        ]
+    )
+    outcomes = result.outcomes()
+    assert len(outcomes) == 2
+    assert all(key[-1] == "random" for key in outcomes)
+
+
+def test_default_workers_respects_affinity(monkeypatch):
+    """The pool must size to the process's CPU mask, not the machine."""
+    import os
+
+    from repro.runner.engine import default_workers
+
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    if hasattr(os, "process_cpu_count"):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 3)
+    else:
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert default_workers() == 2

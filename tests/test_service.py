@@ -311,3 +311,48 @@ def test_health_metrics_and_job_listing(client):
     assert metrics["cache"]["stages"]  # per-stage breakdown present
     listed = client.jobs()
     assert any(j["state"] == "done" for j in listed)
+
+
+# ---------------------------------------------------------------------------
+# Job timing and executor start method
+
+
+def test_job_duration_survives_wall_clock_step(monkeypatch):
+    """wall_seconds must come from monotonic pairs, not time.time().
+
+    A backwards NTP step (or suspend/resume) between start and finish
+    would make a wall-clock subtraction negative; the monotonic clock
+    cannot step, so the reported duration stays sane.
+    """
+    import time as time_module
+
+    job = _job()
+    job.transition(JobState.RUNNING)
+    # The wall clock jumps an hour into the past mid-job.
+    real_time = time_module.time
+    monkeypatch.setattr(
+        "repro.service.jobs.time.time", lambda: real_time() - 3600.0
+    )
+    job.transition(JobState.DONE)
+    summary = job.summary()
+    assert summary["finished"] < summary["started"]  # display fields stepped
+    assert summary["wall_seconds"] is not None
+    assert 0.0 <= summary["wall_seconds"] < 60.0
+
+
+def test_job_summary_without_start_has_no_duration():
+    job = _job()
+    assert job.summary()["wall_seconds"] is None
+    job.transition(JobState.CANCELLED)
+    assert job.summary()["wall_seconds"] is None
+
+
+def test_campaign_executor_never_uses_fork():
+    """The service pool lives in a threaded server: fork would snapshot
+    lock/condition state mid-flight. The executor must pin a non-fork
+    start method rather than inherit the platform default."""
+    from repro.runner.engine import CampaignExecutor
+
+    with CampaignExecutor(workers=1) as executor:
+        method = executor._pool._mp_context.get_start_method()
+    assert method in ("spawn", "forkserver")
