@@ -1,0 +1,302 @@
+"""SAT-engine benchmark: reference vs compiled CDCL on LEC miters.
+
+The SAT core is the long pole of every LEC proof and of the paper's
+key-recovery futility argument, so this benchmark tracks it the way
+``bench_layout.py`` tracks the layout stage: each profile builds a
+correct-key lock miter (locked netlist keyed with its own key against
+the original — UNSAT by construction), solves it under both
+``REPRO_SAT_ENGINE`` settings with a fixed conflict-limit cap so both
+engines halt at the *same* search state, cross-checks the two runs
+**search-identically** (status, model and every ``SolverStats``
+counter), and lands conflicts/sec plus wall time per engine in
+``BENCH_sat.json`` so the speedup trajectory is tracked PR over PR.
+
+Engine seconds use ``time.process_time`` (CPU time): the speedup ratio
+is what the regression gate tracks, and CPU time is stable on noisy
+shared runners where wall clock swings with scheduler steal.  Wall
+seconds are reported alongside for the humans.
+
+The payload also carries a ``futility`` row: the SAT-attack futility
+probe (``method="cdcl"``, one conflict-capped solve per sampled key)
+run under both engines and cross-checked for identical witnesses.
+
+``--engine-diff`` runs the CI differential smoke instead: the futility
+probe under both engine settings plus the campaign cache-key split
+(the resolved engine is part of the attack-stage key).
+
+Usage::
+
+    python benchmarks/bench_sat.py --quick       # CI subset
+    python benchmarks/bench_sat.py               # full profile grid
+    python benchmarks/bench_sat.py --engine-diff # cache-key smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import (  # noqa: E402
+    GeneratorConfig,
+    generate_random_circuit,
+    load_itc99,
+)
+from repro.locking.atpg_lock import AtpgLockConfig, atpg_lock  # noqa: E402
+from repro.sat.compiled import CompiledCdclSolver  # noqa: E402
+from repro.sat.lec import build_miter  # noqa: E402
+from repro.sat.solver import CdclSolver  # noqa: E402
+
+#: (profile, key bits, conflict-limit cap) grid.  The caps keep runs
+#: bounded while forcing both engines through the identical prefix of
+#: the search (including clause-deletion rounds); dense-g12000 — the
+#: largest miter — is the acceptance anchor for the >= 3x speedup.
+FULL_GRID = (
+    ("b14", 32, 8000),
+    ("dense-g8000", 96, 4000),
+    ("dense-g12000", 128, 3000),
+)
+QUICK_GRID = (
+    ("b14", 32, 2500),
+    ("dense-g12000", 128, 1200),
+)
+LARGEST_PROFILE = "dense-g12000"
+
+ENGINES = ("reference", "compiled")
+SOLVERS = {"reference": CdclSolver, "compiled": CompiledCdclSolver}
+
+
+def build_profile_cnf(name: str, key_bits: int):
+    """The profile's correct-key lock miter CNF (UNSAT by construction)."""
+    if name.startswith("dense-g"):
+        gates = int(name.removeprefix("dense-g"))
+        circuit = generate_random_circuit(
+            GeneratorConfig(
+                num_inputs=256, num_outputs=128, num_gates=gates
+            ),
+            seed=7,
+            name=name,
+        ).combinational_core()
+        lock_seed = 7
+    else:
+        circuit = load_itc99(name)
+        if circuit.is_sequential:
+            circuit = circuit.combinational_core()
+        lock_seed = 2019
+    locked, _report = atpg_lock(
+        circuit,
+        AtpgLockConfig(key_bits=key_bits, seed=lock_seed, run_lec=False),
+    )
+    cnf, _, _ = build_miter(locked.with_key(locked.key), circuit)
+    return cnf
+
+
+def solve_once(engine: str, cnf, conflict_limit: int):
+    """One cold solve under *engine*: (status, model, stats, cpu, wall)."""
+    solver = SOLVERS[engine](cnf.num_vars, conflict_limit=conflict_limit)
+    for clause in cnf.clauses:
+        solver.add_clause(clause)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = solver.solve()
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - wall0
+    return result.status, result.model, vars(result.stats), cpu, wall
+
+
+def verify_identical(name: str, outcomes: dict) -> None:
+    """Engines must halt at the same search state on every profile."""
+    ref_status, ref_model, ref_stats = outcomes["reference"]
+    cmp_status, cmp_model, cmp_stats = outcomes["compiled"]
+    if ref_status != cmp_status:
+        raise AssertionError(
+            f"{name}: status differs ({ref_status} vs {cmp_status})"
+        )
+    if ref_model != cmp_model:
+        raise AssertionError(f"{name}: models differ between engines")
+    if ref_stats != cmp_stats:
+        raise AssertionError(
+            f"{name}: SolverStats differ between engines "
+            f"({ref_stats} vs {cmp_stats})"
+        )
+
+
+def bench_profile(
+    name: str, key_bits: int, conflict_limit: int, repeats: int
+) -> dict:
+    cnf = build_profile_cnf(name, key_bits)
+    best_cpu = {engine: float("inf") for engine in ENGINES}
+    best_wall = {engine: float("inf") for engine in ENGINES}
+    outcomes = {}
+    # interleave the repeats so machine drift hits both engines alike
+    for _ in range(repeats):
+        for engine in ENGINES:
+            status, model, stats, cpu, wall = solve_once(
+                engine, cnf, conflict_limit
+            )
+            outcomes[engine] = (status, model, stats)
+            best_cpu[engine] = min(best_cpu[engine], cpu)
+            best_wall[engine] = min(best_wall[engine], wall)
+    verify_identical(name, outcomes)
+    status, _model, stats = outcomes["compiled"]
+    row = {
+        "profile": name,
+        "key_bits": key_bits,
+        "conflict_limit": conflict_limit,
+        "num_vars": cnf.num_vars,
+        "num_clauses": len(cnf.clauses),
+        "status": status,
+        "conflicts": stats["conflicts"],
+        "propagations": stats["propagations"],
+        "deleted": stats["deleted"],
+        "reference_seconds": best_cpu["reference"],
+        "compiled_seconds": best_cpu["compiled"],
+        "reference_wall_seconds": best_wall["reference"],
+        "compiled_wall_seconds": best_wall["compiled"],
+        "speedup": best_cpu["reference"] / best_cpu["compiled"],
+        "reference_conflicts_per_second": (
+            stats["conflicts"] / best_cpu["reference"]
+        ),
+        "compiled_conflicts_per_second": (
+            stats["conflicts"] / best_cpu["compiled"]
+        ),
+    }
+    print(
+        f"{name:>14} {cnf.num_vars:>6}v {len(cnf.clauses):>6}c "
+        f"@{conflict_limit:<5} ref {row['reference_seconds']:7.2f}s  "
+        f"cmp {row['compiled_seconds']:7.2f}s  {row['speedup']:5.2f}x  "
+        f"({row['compiled_conflicts_per_second']:,.0f} conflicts/s, "
+        "search-identical)"
+    )
+    return row
+
+
+def futility_probe() -> dict:
+    """The SAT-attack futility probe (cdcl method) under both engines."""
+    from repro.attacks.sat_attack import demonstrate_sat_futility
+
+    circuit = generate_random_circuit(
+        GeneratorConfig(num_inputs=8, num_outputs=4, num_gates=60),
+        seed=3,
+        name="futility",
+    ).combinational_core()
+    locked, _report = atpg_lock(
+        circuit, AtpgLockConfig(key_bits=8, seed=3, run_lec=False)
+    )
+    witnesses = {}
+    seconds = {}
+    for engine in ENGINES:
+        os.environ["REPRO_SAT_ENGINE"] = engine
+        try:
+            start = time.perf_counter()
+            witnesses[engine] = demonstrate_sat_futility(
+                locked, sample_keys=12, seed=7, method="cdcl"
+            )
+            seconds[engine] = time.perf_counter() - start
+        finally:
+            del os.environ["REPRO_SAT_ENGINE"]
+    if witnesses["reference"] != witnesses["compiled"]:
+        raise AssertionError("futility probe: witnesses differ per engine")
+    row = {
+        "sample_keys": 12,
+        "all_keys_consistent": witnesses["compiled"].all_keys_consistent,
+        "reference_wall_seconds": seconds["reference"],
+        "compiled_wall_seconds": seconds["compiled"],
+    }
+    print(
+        f"futility probe: 12 keys, identical witnesses, "
+        f"ref {seconds['reference']:.2f}s cmp {seconds['compiled']:.2f}s"
+    )
+    return row
+
+
+def engine_diff_smoke() -> int:
+    """CI smoke: futility probe identical per engine + cache-key split."""
+    from repro.runner.spec import AttackCampaignSpec
+    from repro.runner.stages import attack_payload
+    from repro.utils.artifact_cache import spec_key
+
+    futility_probe()  # raises when the engines disagree
+    acell = AttackCampaignSpec(
+        benchmarks=("random:i10-o5-g90",),
+        scenarios=("random",),
+        split_layers=(4,),
+        key_bits=(10,),
+    ).cells()[0]
+    keys = {}
+    for engine in ENGINES:
+        os.environ["REPRO_SAT_ENGINE"] = engine
+        try:
+            keys[engine] = spec_key(attack_payload(acell))
+        finally:
+            del os.environ["REPRO_SAT_ENGINE"]
+    if keys["reference"] == keys["compiled"]:
+        raise AssertionError(
+            "attack cache keys must differ per SAT engine (knob not keyed?)"
+        )
+    print(
+        "engine-diff smoke: cache keys differ "
+        f"({keys['reference'][:12]} vs {keys['compiled'][:12]}), "
+        "futility witnesses bit-identical"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI subset of the grid"
+    )
+    parser.add_argument(
+        "--engine-diff", action="store_true",
+        help="run the futility/cache-key differential smoke instead",
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sat.json",
+    )
+    args = parser.parse_args(argv)
+    if args.engine_diff:
+        return engine_diff_smoke()
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    repeats = 1 if args.quick else args.repeats
+    rows = [
+        bench_profile(name, key_bits, conflict_limit, repeats)
+        for name, key_bits, conflict_limit in grid
+    ]
+    anchor = next(
+        (row for row in rows if row["profile"] == LARGEST_PROFILE), None
+    )
+    payload = {
+        "workload": "correct-key LEC miter solve, reference vs compiled",
+        "timer": "process_time (cpu); wall reported alongside",
+        "quick": args.quick,
+        "repeats": repeats,
+        "profiles": rows,
+        "futility": futility_probe(),
+        "largest_profile": LARGEST_PROFILE,
+        "largest_profile_speedup": anchor["speedup"] if anchor else None,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    # the 3x acceptance target applies to the full grid: --quick caps
+    # the anchor's conflict limit, so CI tracks it through the
+    # BENCH_sat regression gate (with tolerance) instead
+    if not args.quick and anchor is not None and anchor["speedup"] < 3.0:
+        print(
+            f"WARNING: {LARGEST_PROFILE} speedup {anchor['speedup']:.2f}x "
+            "is below the 3x acceptance target"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -145,6 +145,8 @@ def run_payload(cell: CellSpec) -> dict[str, Any]:
 
 
 def attack_payload(acell: AttackCellSpec) -> dict[str, Any]:
+    from repro.sat.dispatch import resolve_sat_engine
+
     cell = acell.cell
     return {
         "stage": "attack",
@@ -153,6 +155,7 @@ def attack_payload(acell: AttackCellSpec) -> dict[str, Any]:
         "postprocess_seed": cell.postprocess_seed,
         "hd_patterns": cell.hd_patterns,
         "hd_seed": cell.hd_seed,
+        "sat_engine": resolve_sat_engine(),
     }
 
 
@@ -294,6 +297,7 @@ def table3_payload(
     benchmark: str, scheme: str, seed: int, key_bits: int, hd_patterns: int
 ) -> dict[str, Any]:
     from repro.phys.dispatch import resolve_layout_engine
+    from repro.sat.dispatch import resolve_sat_engine
 
     return {
         "stage": "table3",
@@ -303,6 +307,7 @@ def table3_payload(
         "key_bits": key_bits,
         "hd_patterns": hd_patterns,
         "engine": resolve_layout_engine(),
+        "sat_engine": resolve_sat_engine(),
     }
 
 

@@ -1,0 +1,753 @@
+"""Array-native CDCL engine (the ``compiled`` SAT engine).
+
+The reference solver (:mod:`repro.sat.solver`) walks clauses through
+lists of Python lists and pays a method call per literal test; on
+LEC-miter proofs that inner loop dominates the whole locking flow.
+This engine keeps the *search* — decisions, conflict analysis,
+restarts, learned-clause reduction — as the same sequential skeleton
+but moves the data plane into flat typed storage:
+
+* the clause database is a CSR-style ``int32`` literal pool (flat
+  ``array('i')`` plus per-clause offset/length tables, grown as
+  clauses are learned, compacted in place on database reduction), with
+  zero-copy NumPy views (:func:`numpy.frombuffer`) over the same
+  buffers for the vector paths;
+* the assignment is a literal-value array (``value[literal + num_vars]``
+  in {-1, 0, 1}) — one ``array('b')`` store serving both the scalar
+  hot path and the gather target of every batch evaluation;
+* long watch lists are propagated as batches: one gather normalises
+  the watched pair of every clause, a second classifies the clauses
+  whose other watch is already true (the common case — they are kept
+  wholesale without touching per-clause Python), and only the
+  remainder falls through to the inline walk; replacement-watch search
+  inside wide clauses is an array scan over the clause's pool block;
+* variable activities are a flat ``float64`` array (vector rescale),
+  and branching replaces the reference's lazy-delete heap with an
+  ``argmax`` over a persistent masked copy of that array (assigned
+  variables hold ``-1.0``; the mask is maintained lazily from the
+  trail delta at pick time and restored vectorised on backtrack) —
+  ``argmax`` returns the first maximum, which is exactly the heap's
+  max-activity / lowest-variable-index tie-break, so the chosen
+  decision variable is identical while all per-bump and per-unassign
+  heap maintenance disappears.
+
+**Search-identity is the contract**: the same decision sequence, the
+same learned clauses (same literal order), the same model and the same
+:class:`~repro.sat.solver.SolverStats` counters as the reference on
+every instance.  The batch classification is sound for it because
+assignments only accumulate during a propagation pass: a clause whose
+watch is true under the pass-entry snapshot is still true when the
+reference would reach it, and every clause the snapshot cannot decide
+is re-examined against the live assignment in list order, exactly as
+the reference does.  On a conflict the not-yet-reached clauses have
+their speculative watch normalisation undone, because the reference
+never touched them.  ``tests/test_sat_compiled.py`` enforces all of
+this differentially.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+from repro.sat.solver import SatResult, SolverStats, _luby
+
+#: Watch lists at least this long go through the batched gather path;
+#: shorter lists are walked inline (the fixed cost of the gathers only
+#: amortises on longer lists — learned clauses pile onto high-activity
+#: literals, so the long lists carry most of the propagation work).
+_BATCH_MIN = 24
+#: Clauses at least this wide use the hybrid replacement-watch scan
+#: (inline prefix + one vector scan over the tail); narrower clauses
+#: use the pure inline early-exit scan.  The inline scan usually exits
+#: within a couple of slots, so the vector path only pays off when a
+#: very wide learned clause must be inspected end to end.
+_SCAN_MIN = 64
+#: Slots probed inline before the hybrid scan falls to the vector tail.
+_SCAN_PREFIX = 16
+
+
+class CompiledCdclSolver:
+    """CDCL over a CSR clause pool; search-identical to ``CdclSolver``."""
+
+    def __init__(self, num_vars: int, conflict_limit: int | None = None):
+        self.num_vars = num_vars
+        self.conflict_limit = conflict_limit
+        self._voff = num_vars  # literal l lives at index l + _voff
+        # CSR clause database: flat int32 literal pool + offset/length
+        # tables, capacity-doubled as clauses are learned.  Scalar code
+        # indexes the arrays directly (C-typed storage, Python-int
+        # element access); the batch paths gather through zero-copy
+        # NumPy views over the same buffers.  The views pin the
+        # buffers, so growth allocates a fresh array and re-derives
+        # them — element writes are always in place.
+        self._pool = array("i", bytes(4 * max(256, 4 * num_vars)))
+        self._pool_len = 0
+        self._off = array("q", bytes(8 * max(64, num_vars)))
+        self._len = array("i", bytes(4 * max(64, num_vars)))
+        # first-watch cache: _fw[ci] mirrors pool[off[ci]] so the hot
+        # satisfied-watch test needs one indexed read instead of two
+        # (and the batch classifier one gather instead of two)
+        self._fw = array("i", bytes(4 * max(64, num_vars)))
+        self._pool_np = np.frombuffer(self._pool, dtype=np.int32)
+        self._off_np = np.frombuffer(self._off, dtype=np.int64)
+        self._fw_np = np.frombuffer(self._fw, dtype=np.int32)
+        self._num_clauses = 0
+        self._clause_is_learned: list[bool] = []
+        self._clause_activity: list[float] = []
+        self.watches: list[list[int]] = [[] for _ in range(2 * num_vars + 1)]
+        # Literal-value store: -1 unassigned, 0 false, 1 true.  One
+        # array('b') serves the scalar reads and (via a zero-copy view)
+        # the batch gathers; it never grows, so the view never goes
+        # stale.
+        self._litval = array("b", [-1]) * (2 * num_vars + 1)
+        self._litval_np = np.frombuffer(self._litval, dtype=np.int8)
+        # Scratch state of the most recent _classify_batch call (swap
+        # mask + clause indices), consumed by the conflict-path undo.
+        self._batch_swapped = None
+        self._batch_cis = None
+        self.assign: list[int] = [-1] * (num_vars + 1)
+        self.level_of: list[int] = [0] * (num_vars + 1)
+        self.reason: list[int] = [-1] * (num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.phase: list[int] = [0] * (num_vars + 1)
+        # Branching: flat activities; decisions pick by argmax over a
+        # persistently masked copy (assigned vars hold -1.0, slot 0
+        # holds -2.0 so it can never win; unassigned vars mirror their
+        # activity).  The mask is maintained lazily: newly assigned
+        # vars are masked in one scatter at pick time (the trail delta
+        # since the last pick), popped vars are restored in _backtrack.
+        self.activity = np.zeros(num_vars + 1, dtype=np.float64)
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self._masked = np.zeros(num_vars + 1, dtype=np.float64)
+        self._masked[0] = -2.0
+        self._pick_mark = 0  # trail length already folded into _masked
+        self._seen = bytearray(num_vars + 1)  # reused by _analyze
+        self.stats = SolverStats()
+        self._ok = True
+        self._qhead = 0
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+    def add_clause(self, literals) -> None:
+        """Add a problem clause (deduplicated; tautologies dropped)."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            if -literal in seen:
+                return  # tautology
+            if literal in seen:
+                continue
+            seen.add(literal)
+            clause.append(literal)
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue_root_unit(clause[0]):
+                self._ok = False
+            return
+        self._attach(clause, learned=False)
+
+    def _attach(self, clause: list[int], learned: bool) -> int:
+        index = self._num_clauses
+        width = len(clause)
+        base = self._pool_len
+        end = base + width
+        if end > len(self._pool):
+            grown = array("i", bytes(4 * max(2 * len(self._pool), end)))
+            grown[:base] = self._pool[:base]
+            self._pool = grown
+            self._pool_np = np.frombuffer(grown, dtype=np.int32)
+        if index == len(self._off):
+            grown_off = array("q", bytes(16 * len(self._off)))
+            grown_off[:index] = self._off
+            self._off = grown_off
+            self._off_np = np.frombuffer(grown_off, dtype=np.int64)
+            grown_len = array("i", bytes(8 * len(self._len)))
+            grown_len[:index] = self._len
+            self._len = grown_len
+            grown_fw = array("i", bytes(8 * len(self._fw)))
+            grown_fw[:index] = self._fw
+            self._fw = grown_fw
+            self._fw_np = np.frombuffer(grown_fw, dtype=np.int32)
+        self._pool[base:end] = array("i", clause)
+        self._off[index] = base
+        self._len[index] = width
+        self._fw[index] = clause[0]
+        self._pool_len = end
+        self._num_clauses += 1
+        self._clause_is_learned.append(learned)
+        self._clause_activity.append(0.0)
+        voff = self._voff
+        self.watches[clause[0] + voff].append(index)
+        self.watches[clause[1] + voff].append(index)
+        return index
+
+    def _enqueue_root_unit(self, literal: int) -> bool:
+        var, value = abs(literal), int(literal > 0)
+        if self.assign[var] == -1:
+            self._assign(var, value, reason=-1)
+            return True
+        return self.assign[var] == value
+
+    # ------------------------------------------------------------------
+    # Assignment and propagation
+    # ------------------------------------------------------------------
+    @property
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _assign(self, var: int, value: int, reason: int) -> None:
+        self.assign[var] = value
+        self.level_of[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.phase[var] = value
+        self.trail.append(var)
+        voff = self._voff
+        self._litval[voff + var] = value
+        self._litval[voff - var] = 1 - value
+
+    def _lit_value(self, literal: int) -> int:
+        """0 false, 1 true, -1 unassigned under current assignment."""
+        return self._litval[literal + self._voff]
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or -1.
+
+        Both walks rebuild a watch list only *lazily*: `keep` stays
+        ``None`` until the first clause actually leaves the list, so
+        the common all-kept pass touches no per-clause list building at
+        all (the reference's rebuilt `keep` would be content-identical
+        to the original list).
+        """
+        trail = self.trail
+        watches = self.watches
+        voff = self._voff
+        assign = self.assign
+        level_of = self.level_of
+        reason = self.reason
+        phase = self.phase
+        pool = self._pool
+        off = self._off
+        len_ = self._len
+        fw = self._fw
+        litval = self._litval
+        level = len(self.trail_lim)
+        qhead = self._qhead
+        trail_len = len(trail)
+        trail_append = trail.append
+        propagated = 0
+        conflict = -1
+        while qhead < trail_len:
+            pvar = trail[qhead]
+            qhead += 1
+            false_literal = pvar if assign[pvar] == 0 else -pvar
+            wix = false_literal + voff
+            watching = watches[wix]
+            if len(watching) >= _BATCH_MIN:
+                # ---- batched walk over the snapshot-undecided tail ----
+                walk = self._classify_batch(false_literal, watching)
+                if walk is None:
+                    continue  # every clause satisfied: list unchanged
+                keep = None
+                prev = 0
+                for pos in walk:
+                    ci = watching[pos]
+                    first = fw[ci]
+                    value = litval[first + voff]
+                    if value == 1:  # became true earlier in this pass
+                        continue
+                    base = off[ci]
+                    width = len_[ci]
+                    if width >= _SCAN_MIN:
+                        moved = self._find_replacement_wide(base, width)
+                    else:
+                        moved = 0
+                        for slot in range(base + 2, base + width):
+                            lit = pool[slot]
+                            if litval[lit + voff] != 0:
+                                pool[slot] = pool[base + 1]
+                                pool[base + 1] = lit
+                                moved = lit
+                                break
+                    if moved:
+                        if keep is None:
+                            keep = watching[:pos]
+                        else:
+                            keep.extend(watching[prev:pos])
+                        prev = pos + 1
+                        watches[moved + voff].append(ci)
+                        continue
+                    if value == 0:
+                        # conflict: the reference never reached the
+                        # clauses after this one — keep them in list
+                        # order and undo speculative normalisation.
+                        self._undo_batch_swaps(false_literal, pos + 1)
+                        if keep is not None:
+                            keep.extend(watching[prev:])
+                            watches[wix] = keep
+                        conflict = ci
+                        break
+                    # unit: imply first
+                    propagated += 1
+                    var = first if first > 0 else -first
+                    v = 1 if first > 0 else 0
+                    assign[var] = v
+                    level_of[var] = level
+                    reason[var] = ci
+                    phase[var] = v
+                    trail_append(var)
+                    trail_len += 1
+                    litval[voff + var] = v
+                    litval[voff - var] = 1 - v
+                else:
+                    if keep is not None:
+                        keep.extend(watching[prev:])
+                        watches[wix] = keep
+                    continue
+                break
+            # -------- scalar walk of a short watch list --------
+            keep = None
+            for i, ci in enumerate(watching, 1):
+                first = fw[ci]
+                if first == false_literal:  # false literal to slot 1
+                    base = off[ci]
+                    first = pool[base + 1]
+                    pool[base + 1] = false_literal
+                    pool[base] = first
+                    fw[ci] = first
+                    value = litval[first + voff]
+                else:
+                    value = litval[first + voff]
+                    if value == 1:
+                        if keep is not None:
+                            keep.append(ci)
+                        continue
+                    base = off[ci]
+                if value == 1:
+                    if keep is not None:
+                        keep.append(ci)
+                    continue
+                width = len_[ci]
+                if width >= _SCAN_MIN:
+                    moved = self._find_replacement_wide(base, width)
+                else:
+                    moved = 0
+                    for slot in range(base + 2, base + width):
+                        lit = pool[slot]
+                        if litval[lit + voff] != 0:
+                            pool[slot] = pool[base + 1]
+                            pool[base + 1] = lit
+                            moved = lit
+                            break
+                if moved:
+                    if keep is None:
+                        keep = watching[: i - 1]
+                    watches[moved + voff].append(ci)
+                    continue
+                if keep is not None:
+                    keep.append(ci)
+                if value == 0:
+                    # conflict: remaining watches stay in place
+                    if keep is not None:
+                        keep.extend(watching[i:])
+                        watches[wix] = keep
+                    conflict = ci
+                    break
+                # unit: imply first
+                propagated += 1
+                var = first if first > 0 else -first
+                v = 1 if first > 0 else 0
+                assign[var] = v
+                level_of[var] = level
+                reason[var] = ci
+                phase[var] = v
+                trail_append(var)
+                trail_len += 1
+                litval[voff + var] = v
+                litval[voff - var] = 1 - v
+            else:
+                if keep is not None:
+                    watches[wix] = keep
+                continue
+            break
+        self.stats.propagations += propagated
+        self._qhead = len(trail)
+        return conflict
+
+    def _classify_batch(self, false_literal: int, watching: list[int]):
+        """Batched normalise + classify of one long watch list.
+
+        One gather reads every clause's slot-0 watch, the swap mask
+        normalises the watched pair wherever slot 0 holds the false
+        literal (mirrored into the scalar pool), and a second gather
+        over the literal-value view selects the clauses the pass-entry
+        snapshot cannot prove satisfied.  Returns the positions still
+        needing the per-clause walk, or ``None`` when every clause is
+        snapshot-satisfied (the list is left untouched, exactly as the
+        reference's keep-rebuild would).
+        """
+        pool = self._pool
+        off = self._off
+        fw = self._fw
+        fw_np = self._fw_np
+        cis = np.fromiter(watching, dtype=np.int64, count=len(watching))
+        first = fw_np[cis]
+        swapped = first == false_literal
+        swpos = np.nonzero(swapped)[0]
+        if swpos.size:
+            for ci in cis[swpos].tolist():
+                base = off[ci]
+                lead = pool[base + 1]
+                pool[base + 1] = false_literal
+                pool[base] = lead
+                fw[ci] = lead
+            first = fw_np[cis]
+            self._batch_swapped = swapped
+            self._batch_cis = cis
+        else:
+            self._batch_swapped = None
+        undecided = np.nonzero(self._litval_np[first + self._voff] != 1)[0]
+        if not undecided.size:
+            return None
+        return undecided.tolist()
+
+    def _undo_batch_swaps(self, false_literal: int, prev: int) -> None:
+        """Re-swap the watch pairs the batch normalised speculatively.
+
+        Called on a conflict at position ``prev - 1`` of the walked
+        list: the reference walk never reached positions ``>= prev``,
+        so every clause the batch swapped there must be restored to its
+        pre-pass watch order.  (Clauses already watching the false
+        literal in slot 1 were never swapped and must stay put — hence
+        the recorded mask, not a slot test.)
+        """
+        swapped = self._batch_swapped
+        if swapped is None:
+            return
+        late = np.nonzero(swapped[prev:])[0]
+        if not late.size:
+            return
+        pool = self._pool
+        off = self._off
+        fw = self._fw
+        for ci in self._batch_cis[prev:][late].tolist():
+            base = off[ci]
+            lead = pool[base]
+            pool[base] = false_literal
+            pool[base + 1] = lead
+            fw[ci] = false_literal
+
+    def _find_replacement_wide(self, base: int, width: int) -> int:
+        """Replacement-watch search in a wide clause's pool block;
+        returns the new watch literal or 0.
+
+        Hybrid scan: a short inline pass first (most replacements sit
+        within the first few slots — vectorising those loses to NumPy's
+        per-call overhead), then one vector scan over the remaining
+        tail, which dominates exactly when the clause is about to go
+        unit or conflicting and the *whole* block must be inspected.
+        ``argmax`` over the boolean mask finds the first open slot
+        without materialising an index array (it returns 0 on an
+        all-false tail, which the mask re-check disambiguates)."""
+        pool = self._pool
+        litval = self._litval
+        voff = self._voff
+        prefix_end = base + _SCAN_PREFIX
+        for slot in range(base + 2, prefix_end):
+            lit = pool[slot]
+            if litval[lit + voff] != 0:
+                pool[slot] = pool[base + 1]
+                pool[base + 1] = lit
+                return lit
+        block = self._pool_np[prefix_end : base + width]
+        open_ = self._litval_np[block + voff] != 0
+        k = int(open_.argmax())
+        if not open_[k]:
+            return 0  # every tail literal is false: unit or conflict
+        slot = prefix_end + k
+        lit = pool[slot]
+        pool[slot] = pool[base + 1]
+        pool[base + 1] = lit
+        return lit
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        touched: list[int] = []
+        level_of = self.level_of
+        pool = self._pool
+        off = self._off
+        len_ = self._len
+        trail = self.trail
+        activity = self.activity
+        var_inc = self.var_inc
+        current_level = len(self.trail_lim)
+        rescaled = False
+        counter = 0
+        literal = 0
+        clause_index = conflict
+        trail_pos = len(trail) - 1
+        while True:
+            base = off[clause_index]
+            if self._clause_is_learned[clause_index]:
+                self._clause_activity[clause_index] += 1.0
+            # walk the clause's pool block directly — no slice copies
+            # (reason clauses can be hundreds of literals wide)
+            for k in range(base + 1 if literal else base, base + len_[clause_index]):
+                lit = pool[k]
+                var = lit if lit > 0 else -lit
+                if seen[var] or level_of[var] == 0:
+                    continue
+                seen[var] = 1
+                touched.append(var)
+                activity[var] += var_inc
+                if activity[var] > 1e100:
+                    activity *= 1e-100  # slot 0 is never read; 0 stays 0
+                    var_inc *= 1e-100
+                    masked = self._masked
+                    masked[masked >= 0.0] *= 1e-100  # sync unassigned
+                    rescaled = True
+                if level_of[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # pick next literal to resolve from the trail
+            while not seen[trail[trail_pos]]:
+                trail_pos -= 1
+            var = trail[trail_pos]
+            trail_pos -= 1
+            seen[var] = 0
+            counter -= 1
+            literal = var if self.assign[var] == 1 else -var
+            if counter == 0:
+                learned[0] = -literal
+                break
+            clause_index = self.reason[var]
+        if rescaled:
+            self.var_inc = var_inc
+        for var in touched:  # restore the scratch array for the next call
+            seen[var] = 0
+        # backtrack level = second-highest level in learned clause
+        if len(learned) == 1:
+            return learned, 0
+        back_level = 0
+        for lit in learned[1:]:
+            lvl = level_of[lit if lit > 0 else -lit]
+            if lvl > back_level:
+                back_level = lvl
+        # move a literal of back_level into watch position 1
+        for k in range(1, len(learned)):
+            if level_of[abs(learned[k])] == back_level:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back_level
+
+    def _backtrack(self, level: int) -> None:
+        trail_lim = self.trail_lim
+        if len(trail_lim) <= level:
+            return
+        litval = self._litval
+        voff = self._voff
+        assign = self.assign
+        reason = self.reason
+        trail = self.trail
+        mark = trail_lim[level]
+        del trail_lim[level:]
+        popped = trail[mark:]
+        arr = np.array(popped, dtype=np.intp)
+        # unassigned vars re-enter the branching candidates (this also
+        # refreshes activities bumped while the var sat on the trail)
+        self._masked[arr] = self.activity[arr]
+        if self._pick_mark > mark:
+            self._pick_mark = mark
+        if len(popped) >= 48:
+            # bulk unassign: two vector scatters clear the literal
+            # values, the loop handles the Python-list fields
+            litval_np = self._litval_np
+            litval_np[arr + voff] = -1
+            litval_np[voff - arr] = -1
+            for var in popped:
+                assign[var] = -1
+                reason[var] = -1
+        else:
+            for var in popped:
+                assign[var] = -1
+                reason[var] = -1
+                litval[voff + var] = -1
+                litval[voff - var] = -1
+        del trail[mark:]
+        self._qhead = min(self._qhead, mark)
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+    def _pick_branch(self) -> int:
+        """Argmax over the masked activities: the unassigned variable
+        of maximal activity, ties toward the lowest index — the same
+        variable the reference's lazy-delete heap pops."""
+        masked = self._masked
+        trail = self.trail
+        mark = self._pick_mark
+        if len(trail) > mark:
+            masked[np.array(trail[mark:], dtype=np.intp)] = -1.0
+            self._pick_mark = len(trail)
+        best = int(masked.argmax())
+        if masked[best] < 0.0:
+            return 0  # every variable assigned
+        return best if self.phase[best] else -best
+
+    # ------------------------------------------------------------------
+    # Main loop (same skeleton as the reference solver)
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: list[int] | None = None) -> SatResult:
+        if not self._ok:
+            return SatResult("unsat", stats=self.stats)
+        self._qhead = 0
+        self._backtrack(0)
+        if self._propagate() != -1:
+            return SatResult("unsat", stats=self.stats)
+        assumptions = list(assumptions or [])
+        restart_count = 0
+        conflicts_until_restart = 32 * _luby(restart_count)
+        conflicts_since_restart = 0
+        max_learned = max(1000, self._num_clauses // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level == 0:
+                    return SatResult("unsat", stats=self.stats)
+                if self._decision_level <= len(assumptions):
+                    # conflict depends only on assumptions
+                    return SatResult("unsat", stats=self.stats)
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, len(assumptions))
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    self._backtrack(len(assumptions))
+                    if not self._enqueue_root_or_assumed(learned[0]):
+                        return SatResult("unsat", stats=self.stats)
+                else:
+                    index = self._attach(learned, learned=True)
+                    self.stats.learned += 1
+                    self._assign(abs(learned[0]), int(learned[0] > 0), index)
+                self.var_inc *= self.var_decay
+                if self.stats.learned - self.stats.deleted > max_learned:
+                    self._reduce_db()
+                    max_learned = int(max_learned * 1.3)
+                continue
+
+            if (
+                self.conflict_limit is not None
+                and self.stats.conflicts >= self.conflict_limit
+            ):
+                return SatResult("unknown", stats=self.stats)
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                self.stats.restarts += 1
+                restart_count += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = 32 * _luby(restart_count)
+                self._backtrack(len(assumptions))
+                continue
+
+            # place assumptions first
+            if self._decision_level < len(assumptions):
+                literal = assumptions[self._decision_level]
+                value = self._lit_value(literal)
+                if value == 1:
+                    self.trail_lim.append(len(self.trail))  # dummy level
+                    continue
+                if value == 0:
+                    return SatResult("unsat", stats=self.stats)
+                self.trail_lim.append(len(self.trail))
+                self._assign(abs(literal), int(literal > 0), reason=-1)
+                continue
+
+            literal = self._pick_branch()
+            if literal == 0:
+                model = {
+                    v: bool(self.assign[v]) for v in range(1, self.num_vars + 1)
+                }
+                return SatResult("sat", model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._assign(abs(literal), int(literal > 0), reason=-1)
+
+    def _enqueue_root_or_assumed(self, literal: int) -> bool:
+        value = self._lit_value(literal)
+        if value == 0:
+            return False
+        if value == -1:
+            self._assign(abs(literal), int(literal > 0), reason=-1)
+        return True
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        learned_indices = [
+            i
+            for i in range(self._num_clauses)
+            if self._clause_is_learned[i] and self._len[i] > 2
+        ]
+        if not learned_indices:
+            return
+        learned_indices.sort(key=self._clause_activity.__getitem__)
+        locked = {self.reason[v] for v in self.trail}
+        to_drop = set(learned_indices[: len(learned_indices) // 2]) - locked
+        if not to_drop:
+            return
+        self._rebuild_without(to_drop)
+        self.stats.deleted += len(to_drop)
+
+    def _rebuild_without(self, drop: set[int]) -> None:
+        """Compact the CSR pool, dropping *drop*; remap watches/reasons."""
+        pool = self._pool
+        off = self._off
+        len_ = self._len
+        remap: dict[int, int] = {}
+        write = 0
+        kept = 0
+        new_learned: list[bool] = []
+        new_activity: list[float] = []
+        for index in range(self._num_clauses):
+            if index in drop:
+                continue
+            base = off[index]
+            width = len_[index]
+            if base != write:
+                # compact in place: source is always ahead of write
+                pool[write : write + width] = pool[base : base + width]
+            remap[index] = kept
+            off[kept] = write
+            len_[kept] = width
+            # read the *destination* slot: when the clause overlaps its
+            # own copy region, pool[base] has already been overwritten
+            self._fw[kept] = pool[write]
+            new_learned.append(self._clause_is_learned[index])
+            new_activity.append(self._clause_activity[index])
+            write += width
+            kept += 1
+        self._pool_len = write
+        self._num_clauses = kept
+        self._clause_is_learned = new_learned
+        self._clause_activity = new_activity
+        voff = self._voff
+        self.watches = [[] for _ in range(2 * self.num_vars + 1)]
+        for index in range(kept):
+            base = off[index]
+            self.watches[pool[base] + voff].append(index)
+            self.watches[pool[base + 1] + voff].append(index)
+        for var in range(1, self.num_vars + 1):
+            if self.reason[var] != -1:
+                self.reason[var] = remap.get(self.reason[var], -1)

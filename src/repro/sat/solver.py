@@ -13,11 +13,64 @@ Literals follow the DIMACS convention (+v / -v); internally literal
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 
 def _lit_index(literal: int) -> int:
     return (abs(literal) << 1) | (literal < 0)
+
+
+class VarOrderHeap:
+    """Lazy-delete EVSIDS branching heap of the reference solver.
+
+    (The compiled engine reaches the same branching order without a
+    heap: an ``argmax`` over a persistent masked activity array — see
+    :mod:`repro.sat.compiled`.)
+
+    A min-heap over ``(-activity, var)`` entries: the top valid entry is
+    the unassigned variable of maximal activity, ties broken toward the
+    *lowest* variable index — exactly the variable the historical
+    O(num_vars) linear scan returned (``activity > best`` kept the first
+    maximum).  Entries are never removed in place; instead a fresh entry
+    is pushed whenever a variable's activity changes or the variable is
+    unassigned, and stale entries (activity no longer current, or the
+    variable is currently assigned) are discarded as they surface.  The
+    invariant is that every *unassigned* variable always has one entry
+    carrying its *current* activity, maintained by pushing on bump, on
+    unassignment and on rescale/rebuild.
+    """
+
+    __slots__ = ("_activity", "_heap")
+
+    def __init__(self, activity) -> None:
+        self._activity = activity  # shared view of the solver's activities
+        self._heap: list[tuple[float, int]] = []
+
+    def rebuild(self) -> None:
+        """Reset to one fresh entry per variable (index 0 excluded)."""
+        activity = self._activity
+        self._heap = [
+            (-float(activity[var]), var) for var in range(1, len(activity))
+        ]
+        heapq.heapify(self._heap)
+
+    def push(self, var: int) -> None:
+        heapq.heappush(self._heap, (-float(self._activity[var]), var))
+
+    def push_all(self) -> None:
+        """Refresh every entry (after a global activity rescale)."""
+        self.rebuild()
+
+    def pop_best(self, assign) -> int:
+        """Best unassigned variable, or 0 when none remain."""
+        heap = self._heap
+        activity = self._activity
+        while heap:
+            neg_activity, var = heapq.heappop(heap)
+            if assign[var] == -1 and -neg_activity == activity[var]:
+                return var
+        return 0
 
 
 def _luby(x: int) -> int:
@@ -86,8 +139,10 @@ class CdclSolver:
         self.activity: list[float] = [0.0] * (num_vars + 1)
         self.var_inc = 1.0
         self.var_decay = 1.0 / 0.95
+        self._order = VarOrderHeap(self.activity)
         self.stats = SolverStats()
         self._ok = True
+        self._qhead = 0  # next trail position to propagate
 
     # ------------------------------------------------------------------
     # Clause database
@@ -151,9 +206,7 @@ class CdclSolver:
 
     def _propagate(self) -> int:
         """Unit propagation; returns conflicting clause index or -1."""
-        cursor = len(self.trail) - 1
-        queue_start = getattr(self, "_qhead", 0)
-        del cursor
+        queue_start = self._qhead
         while queue_start < len(self.trail):
             var = self.trail[queue_start]
             queue_start += 1
@@ -250,6 +303,9 @@ class CdclSolver:
             for v in range(1, self.num_vars + 1):
                 self.activity[v] *= 1e-100
             self.var_inc *= 1e-100
+            self._order.push_all()
+        else:
+            self._order.push(var)
 
     def _bump_clause(self, index: int) -> None:
         if self._clause_is_learned[index]:
@@ -262,18 +318,14 @@ class CdclSolver:
                 var = self.trail.pop()
                 self.assign[var] = -1
                 self.reason[var] = -1
-        self._qhead = min(getattr(self, "_qhead", 0), len(self.trail))
+                self._order.push(var)
+        self._qhead = min(self._qhead, len(self.trail))
 
     # ------------------------------------------------------------------
     # Branching
     # ------------------------------------------------------------------
     def _pick_branch(self) -> int:
-        best_var = 0
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self.assign[var] == -1 and self.activity[var] > best_act:
-                best_act = self.activity[var]
-                best_var = var
+        best_var = self._order.pop_best(self.assign)
         if best_var == 0:
             return 0
         return best_var if self.phase[best_var] else -best_var
@@ -286,6 +338,7 @@ class CdclSolver:
             return SatResult("unsat", stats=self.stats)
         self._qhead = 0
         self._backtrack(0)
+        self._order.rebuild()
         if self._propagate() != -1:
             return SatResult("unsat", stats=self.stats)
         assumptions = list(assumptions or [])
@@ -411,9 +464,20 @@ def solve_cnf(
     cnf,
     assumptions: list[int] | None = None,
     conflict_limit: int | None = None,
+    engine: str | None = None,
 ) -> SatResult:
-    """Convenience wrapper: build a solver for *cnf* and solve."""
-    solver = CdclSolver(cnf.num_vars, conflict_limit=conflict_limit)
+    """Build a solver for *cnf* under the resolved engine and solve.
+
+    The engine comes from the ``REPRO_SAT_ENGINE`` dispatcher
+    (:mod:`repro.sat.dispatch`) unless *engine* forces one; both
+    engines are search-identical, so the choice never changes the
+    result — only how fast it arrives.
+    """
+    from repro.sat.dispatch import make_solver
+
+    solver = make_solver(
+        cnf.num_vars, conflict_limit=conflict_limit, engine=engine
+    )
     for clause in cnf.clauses:
         solver.add_clause(clause)
     return solver.solve(assumptions=assumptions)

@@ -19,6 +19,13 @@ Knobs:
   (``auto``/``compiled``/``reference``; parsed by
   :mod:`repro.phys.dispatch`).  Both engines are bit-identical; the
   resolved choice participates in the runner's layout-stage cache keys.
+* ``REPRO_SAT_ENGINE``  — CDCL SAT engine selection
+  (``auto``/``compiled``/``reference``; parsed by
+  :mod:`repro.sat.dispatch`).  The engines are search-identical — same
+  decisions, learned clauses, models and stats — so ``auto`` takes the
+  compiled array-native path whenever NumPy imports; the resolved
+  choice participates in the runner's SAT-consuming cache keys
+  (attack and Table III stages).
 * ``REPRO_ATTACK_SEED``   — default adversary-scenario seed (``0`` is a
   valid seed, unlike the scale knob).
 * ``REPRO_ATTACK_BUDGET`` — hypothesis budget for scenario key search
@@ -26,13 +33,14 @@ Knobs:
 * ``REPRO_ATTACK_ENGINE`` — default attack-engine selection for the
   ``attacks`` campaign CLI (validated against the engine registry by
   :mod:`repro.adversary.scenario`).
-* ``REPRO_GRID_FUSE``      — campaign grid fusion (default off).  When
-  set, :func:`repro.runner.engine.run_campaign` routes cells through
-  the grid compiler (:mod:`repro.runner.grid`): sibling cells sharing a
+* ``REPRO_GRID_FUSE``      — campaign grid fusion (default **on**).
+  :func:`repro.runner.engine.run_campaign` routes cells through the
+  grid compiler (:mod:`repro.runner.grid`): sibling cells sharing a
   lock/layout run as one task over in-memory artifacts and batched
-  array sweeps.  Results are bit-identical to the unfused path; an
+  array sweeps.  Results are bit-identical to the unfused path, so the
+  fast path is the default; ``REPRO_GRID_FUSE=0`` opts out and an
   explicit ``fuse=`` argument on the campaign entry points overrides
-  the knob.
+  the knob either way.
 
 Campaign-service knobs (defaults for ``python -m repro.runner serve``,
 resolved by :mod:`repro.service.config`; CLI flags override them):

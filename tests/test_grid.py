@@ -138,12 +138,20 @@ def test_env_knob_routes_through_grid(monkeypatch):
         return original(cells, workers, cache_dir, use_cache)
 
     monkeypatch.setattr(grid_module, "run_fused_cells", recorder)
-    monkeypatch.setenv("REPRO_GRID_FUSE", "1")
+    # Fusion is the default: no env var needed to hit the grid compiler.
+    monkeypatch.delenv("REPRO_GRID_FUSE", raising=False)
     run_campaign([BASE], workers=1, use_cache=False)
     assert calls == [(BASE,)]
-    # Explicit fuse=False overrides the knob.
-    run_campaign([BASE], workers=1, use_cache=False, fuse=False)
+    # REPRO_GRID_FUSE=0 opts out.
+    monkeypatch.setenv("REPRO_GRID_FUSE", "0")
+    run_campaign([BASE], workers=1, use_cache=False)
     assert len(calls) == 1
+    # Explicit fuse=True overrides the opt-out; fuse=False the default.
+    run_campaign([BASE], workers=1, use_cache=False, fuse=True)
+    assert len(calls) == 2
+    monkeypatch.delenv("REPRO_GRID_FUSE", raising=False)
+    run_campaign([BASE], workers=1, use_cache=False, fuse=False)
+    assert len(calls) == 2
 
 
 def test_fused_wraps_member_failure_with_cell_id():
