@@ -1,0 +1,219 @@
+"""Defense arms-race benchmark: matrix grid cost and defense strength.
+
+Runs a defense x attack matrix grid twice against a fresh cache
+directory — once cold (lock, layout, every defense and every attack
+computed) and once warm (served from the content-keyed artifact cache)
+— and emits ``BENCH_defenses.json`` so the defense-stage cost, the
+cache's effectiveness, and the *strength* of every defense (how far it
+pushes the attacker's effective regular recovery down, how close the
+lifting family holds protected-net CCR to Table III's zero) are tracked
+PR over PR.  The warm pass cross-checks bit-identity and the
+:func:`repro.defense.matrix_verdict` acceptance.
+
+Usage::
+
+    python benchmarks/bench_defenses.py --quick    # CI matrix subset
+    python benchmarks/bench_defenses.py            # the full smoke matrix
+    python benchmarks/bench_defenses.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.defense import (  # noqa: E402
+    LIFTING_SCHEMES,
+    apply_defense,
+    matrix_verdict,
+    resolve_defense,
+)
+from repro.runner import run_attack_campaign  # noqa: E402
+from repro.runner.profiles import defense_smoke_campaign  # noqa: E402
+from repro.runner.spec import AttackCampaignSpec  # noqa: E402
+from repro.runner.stages import cell_layout  # noqa: E402
+
+
+def quick_matrix() -> AttackCampaignSpec:
+    """The smoke matrix minus the (training-heavy) learned scenario."""
+    smoke = defense_smoke_campaign()
+    return AttackCampaignSpec(
+        benchmarks=smoke.benchmarks,
+        scenarios=("netflow", "random"),
+        defenses=smoke.defenses,
+        split_layers=smoke.split_layers,
+        key_bits=smoke.key_bits,
+        seed=smoke.seed,
+        scale=smoke.scale,
+        hd_patterns=smoke.hd_patterns,
+        max_candidates=smoke.max_candidates,
+    )
+
+
+def run_grid(spec: AttackCampaignSpec, cache_dir: Path, workers: int):
+    start = time.perf_counter()
+    result = run_attack_campaign(spec, workers=workers, cache_dir=cache_dir)
+    return result, time.perf_counter() - start
+
+
+def time_engines(spec: AttackCampaignSpec) -> list[dict]:
+    """Direct apply-cost per engine on the grid's (cached) base layout."""
+    base = spec.base_campaign().cells()[0]
+    layout = cell_layout(base, None)
+    rows = []
+    for name in spec.defenses:
+        defense = resolve_defense(name)
+        if defense is None:
+            continue
+        start = time.perf_counter()
+        defended = apply_defense(defense, layout, base.split_layer)
+        rows.append(
+            {
+                "defense": name,
+                "scheme": defense.scheme,
+                "apply_seconds": time.perf_counter() - start,
+                "protected_nets": len(defended.protected_nets),
+                "cost_units": defended.cost.cost_units,
+            }
+        )
+    return rows
+
+
+def strength(result, scenarios: tuple[str, ...]) -> dict:
+    """The arms-race strength scalars the regression gate tracks."""
+    baselines: dict[tuple, float] = {}
+    for r in result.cells:
+        if r.cell.defense is None and r.cell.scenario.name in scenarios:
+            baselines[
+                (r.cell.cell.result_key, r.cell.scenario.name)
+            ] = r.outcome.diagnostics["recovery"]["effective_regular_recovery"]
+    drops = []
+    lifting_ccrs = []
+    for r in result.cells:
+        if r.cell.defense is None:
+            continue
+        if r.cell.scenario.name in scenarios:
+            floor = baselines[(r.cell.cell.result_key, r.cell.scenario.name)]
+            recovery = r.outcome.diagnostics["recovery"][
+                "effective_regular_recovery"
+            ]
+            drops.append(floor - recovery)
+        if r.cell.defense.scheme in LIFTING_SCHEMES:
+            lifting_ccrs.append(
+                r.outcome.diagnostics["defense"]["protected_ccr"]
+            )
+    return {
+        "min_effective_drop": min(drops),
+        "max_lifting_protected_ccr": max(lifting_ccrs),
+    }
+
+
+def verify(cold, warm, scenarios: tuple[str, ...]) -> None:
+    warm_stats = warm.cache_stats()
+    if warm_stats.misses != 0:
+        raise AssertionError(f"warm pass recomputed {warm_stats.misses} stages")
+    for a, b in zip(cold.cells, warm.cells):
+        if (
+            a.outcome.ccr != b.outcome.ccr
+            or a.outcome.hd_oer != b.outcome.hd_oer
+            or a.outcome.diagnostics != b.outcome.diagnostics
+        ):
+            raise AssertionError(
+                f"{a.cell.cell_id}: cached outcome differs from cold"
+            )
+    ok, problems = matrix_verdict(cold.cells, scenarios=scenarios)
+    if not ok:
+        raise AssertionError("; ".join(problems))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI matrix subset (netflow + random floor only)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_defenses.json",
+    )
+    args = parser.parse_args(argv)
+
+    spec = quick_matrix() if args.quick else defense_smoke_campaign()
+    judged = ("netflow",) if args.quick else ("netflow", "learned")
+    with tempfile.TemporaryDirectory(prefix="bench-defenses-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        cold, cold_seconds = run_grid(spec, cache_dir, args.workers)
+        warm, warm_seconds = run_grid(spec, cache_dir, args.workers)
+    verify(cold, warm, judged)
+    engines = time_engines(spec)
+
+    print(
+        f"{'cell':>14} {'defense':>22} {'scenario':>9} {'eff rec':>8} "
+        f"{'prot CCR':>8} {'cold s':>7} {'warm s':>7}"
+    )
+    rows = []
+    for a, b in zip(cold.cells, warm.cells):
+        defense = a.cell.defense
+        block = a.outcome.diagnostics.get("defense") or {}
+        rows.append(
+            {
+                "cell": a.cell.cell.cell_id,
+                "defense": defense.name if defense else "none",
+                "scenario": a.cell.scenario.name,
+                "effective_regular_recovery": a.outcome.diagnostics[
+                    "recovery"
+                ]["effective_regular_recovery"],
+                "protected_ccr": block.get("protected_ccr"),
+                "regular_ccr": a.outcome.ccr.regular_ccr,
+                "sim_engine": a.outcome.sim_engine,
+                "cold_seconds": a.seconds,
+                "cached_seconds": b.seconds,
+            }
+        )
+        row = rows[-1]
+        pccr = (
+            f"{row['protected_ccr']:>8.1f}"
+            if row["protected_ccr"] is not None
+            else f"{'-':>8}"
+        )
+        print(
+            f"{row['cell']:>14} {row['defense']:>22} {row['scenario']:>9} "
+            f"{row['effective_regular_recovery']:>8.1f} {pccr} "
+            f"{a.seconds:>7.2f} {b.seconds:>7.3f}"
+        )
+
+    payload = {
+        "workload": "defense x attack matrix, cold vs artifact-cache-served",
+        "quick": args.quick,
+        "workers": args.workers,
+        "cells": rows,
+        "engines": engines,
+        **strength(cold, judged),
+        "cold_wall_seconds": cold_seconds,
+        "cached_wall_seconds": warm_seconds,
+        "cache_speedup": cold_seconds / max(warm_seconds, 1e-9),
+        "cold_cache": asdict(cold.cache_stats()),
+        "warm_cache": asdict(warm.cache_stats()),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"cold {cold_seconds:.1f}s -> cached {warm_seconds:.2f}s "
+        f"({payload['cache_speedup']:.0f}x); min effective-recovery drop "
+        f"{payload['min_effective_drop']:.1f} pts, max lifting protected "
+        f"CCR {payload['max_lifting_protected_ccr']:.2f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

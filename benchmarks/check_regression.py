@@ -105,6 +105,27 @@ GATES: dict[str, tuple[Metric, ...]] = {
             tolerance=ABSOLUTE_TOLERANCE,
         ),
     ),
+    "BENCH_defenses": (
+        Metric("cache_speedup", lambda p: p["cache_speedup"]),
+        Metric(
+            "cold_wall_seconds",
+            lambda p: p["cold_wall_seconds"],
+            direction="lower",
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+        # arms-race strength: how far every defense pushes the
+        # attacker's effective recovery down (percentage points; must
+        # not collapse) and how close the lifting family keeps
+        # protected-net CCR to Table III's zero (must not creep up —
+        # the wall-clock grace doubles as the near-zero floor here).
+        Metric("min_effective_drop", lambda p: p["min_effective_drop"]),
+        Metric(
+            "max_lifting_protected_ccr",
+            lambda p: p["max_lifting_protected_ccr"],
+            direction="lower",
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
+    ),
     "BENCH_campaign": (
         Metric("fuse_speedup", lambda p: p["fuse_speedup"]),
         Metric(

@@ -240,6 +240,9 @@ def run_scenario(
     hd_seed: int = 5,
     postprocess_seed: int = 13,
     cache: object | None = None,
+    total_regular_connections: int | None = None,
+    protected_nets: frozenset[str] | None = None,
+    defense_info: dict[str, object] | None = None,
 ) -> AttackOutcome:
     """Execute one resolved scenario end to end.
 
@@ -247,6 +250,14 @@ def run_scenario(
     resolved — a ``None`` seed or budget is a programming error here),
     so outcomes are bit-identical across serial, parallel and cached
     execution.
+
+    ``total_regular_connections`` (the regular routed-connection count
+    of the *undefended* layout) enables the ``recovery`` diagnostics
+    block: effective regular recovery over a denominator that stays
+    constant across a cell's defense axis, the only CCR-like metric
+    defended and undefended outcomes can be compared on.
+    ``protected_nets``/``defense_info`` add the ``defense`` block for
+    defended views (per-protected-net CCR plus the defense's summary).
     """
     if scenario.seed is None or scenario.budget is None:
         raise ValueError(
@@ -279,6 +290,45 @@ def run_scenario(
         pnr=compute_pnr(result),
         diagnostics=dict(result.diagnostics),
     )
+
+    if total_regular_connections is not None:
+        recovered = 0
+        broken = 0
+        for stub in view.sink_stubs:
+            if not stub.has_escape:
+                continue
+            broken += 1
+            if result.assignment.get(stub.stub_id) == stub.net:
+                recovered += 1
+        total = total_regular_connections
+        known = recovered + max(0, total - broken)
+        outcome.diagnostics["recovery"] = {
+            "total_regular_connections": total,
+            "broken_regular_connections": broken,
+            "recovered_regular_connections": recovered,
+            "effective_regular_recovery": (
+                100.0 * known / total if total else 0.0
+            ),
+        }
+
+    if protected_nets is not None:
+        correct = correct_raw = exposed = 0
+        for stub in view.sink_stubs:
+            if stub.net not in protected_nets:
+                continue
+            exposed += 1
+            if result.assignment.get(stub.stub_id) == stub.net:
+                correct += 1
+            if raw.assignment.get(stub.stub_id) == stub.net:
+                correct_raw += 1
+        outcome.diagnostics["defense"] = {
+            **(defense_info or {}),
+            "protected_sinks": exposed,
+            "protected_ccr": 100.0 * correct / exposed if exposed else 0.0,
+            "protected_ccr_raw": (
+                100.0 * correct_raw / exposed if exposed else 0.0
+            ),
+        }
 
     if scenario.wants_connections and result.recovered is not None:
         outcome.hd_oer = compute_hd_oer(

@@ -1,0 +1,61 @@
+"""First-class sweepable defenses (the arms-race subsystem).
+
+The mirror image of :mod:`repro.adversary`: frozen cache-keyed
+:class:`~repro.defense.spec.DefenseSpec` configurations compiled through
+a named :class:`~repro.defense.engine.DefenseEngine` registry, so every
+attack engine is automatically evaluated against every defense.  The
+legacy :mod:`repro.defenses` package remains the bit-frozen Table III
+reference; new code goes through this registry.
+"""
+
+# Engine modules register themselves on import.
+from repro.defense import (  # noqa: F401
+    beol_restore as _beol_restore,
+    routing_perturbation as _routing_perturbation,
+    wire_lifting as _wire_lifting,
+)
+from repro.defense.engine import (
+    DefendedView,
+    DefenseContext,
+    DefenseCost,
+    DefenseEngine,
+    apply_defense,
+    defense_engine_names,
+    get_defense_engine,
+    register_defense_engine,
+)
+from repro.defense.spec import (
+    DEFAULT_DEFENSE_NAMES,
+    DEFENSES,
+    NO_DEFENSE,
+    DefenseSpec,
+    default_defense_names,
+    parse_defense,
+    resolve_defense,
+)
+from repro.defense.verdict import (
+    LIFTING_SCHEMES,
+    VERDICT_SCENARIOS,
+    matrix_verdict,
+)
+
+__all__ = [
+    "DEFAULT_DEFENSE_NAMES",
+    "DEFENSES",
+    "LIFTING_SCHEMES",
+    "NO_DEFENSE",
+    "VERDICT_SCENARIOS",
+    "DefendedView",
+    "DefenseContext",
+    "DefenseCost",
+    "DefenseEngine",
+    "DefenseSpec",
+    "apply_defense",
+    "default_defense_names",
+    "defense_engine_names",
+    "get_defense_engine",
+    "matrix_verdict",
+    "parse_defense",
+    "register_defense_engine",
+    "resolve_defense",
+]

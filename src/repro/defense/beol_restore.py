@@ -1,0 +1,55 @@
+"""BEOL functionality restoration as a first-class defense engine.
+
+[13] Patnaik et al., "Raise Your Game for Split Manufacturing" (DAC'18):
+on top of concerted lifting, a share of the lifted drivers are swapped
+for their inverted duals in the FEOL; the true polarity is restored by
+the (hidden) BEOL wiring.  Even an attacker who guesses every lifted
+connection correctly recovers a netlist whose gates *compute the wrong
+function* — Hamming distance stays high where plain lifting's would
+collapse once connections leak.
+
+The gate flips mutate the view's private gate table only (a fresh dict
+per split), never the shared circuit artifact.
+"""
+
+from __future__ import annotations
+
+from repro.defense.engine import (
+    DefendedView,
+    DefenseContext,
+    DefenseEngine,
+    register_defense_engine,
+)
+from repro.defense.spec import SCHEME_BEOL_RESTORE
+from repro.defense.wire_lifting import lift_protected
+from repro.netlist.gate_types import INVERTED_DUAL
+
+
+class BeolRestoreEngine(DefenseEngine):
+    """[13]: concerted lifting + inverted-dual gate obfuscation."""
+
+    scheme = SCHEME_BEOL_RESTORE
+
+    def apply(self, ctx: DefenseContext) -> DefendedView:
+        view, chosen, cost, diagnostics = lift_protected(ctx)
+        rng = ctx.rng("obfuscate")
+        gates = dict(view.gates)
+        flipped = []
+        for net in sorted(chosen):
+            gate = gates.get(net)
+            if gate is None or gate.is_input or gate.is_dff or gate.is_tie:
+                continue
+            if gate.gate_type not in INVERTED_DUAL:
+                continue
+            if rng.random() < ctx.spec.obfuscate:
+                gates[net] = gate.with_type(INVERTED_DUAL[gate.gate_type])
+                flipped.append(net)
+        view.gates = gates
+        view.obfuscated_nets = flipped
+        diagnostics["obfuscated_gates"] = len(flipped)
+        return DefendedView(
+            view, ctx.spec, frozenset(chosen), cost, diagnostics
+        )
+
+
+register_defense_engine(BeolRestoreEngine())

@@ -27,23 +27,18 @@ def select_lift_nets(circuit: Circuit, routing, fraction: float, rng) -> set[str
 
     Functionally central nets first: nets observing many primary outputs
     cause maximal damage when mis-recovered, and their high fanout makes
-    candidate confusion worst once the hints are erased.
+    candidate confusion worst once the hints are erased.  Output reach
+    comes from one reverse-reachability pass over the levelized circuit
+    (:meth:`Circuit.output_reach_counts`) rather than a scalar cone walk
+    per net; the selection order is unchanged.
     """
-    output_set = set(circuit.outputs)
-    reach_cache: dict[str, int] = {}
-
-    def outputs_reached(net: str) -> int:
-        if net not in reach_cache:
-            reach = circuit.transitive_fanout([net])
-            reach_cache[net] = sum(1 for o in output_set if o in reach)
-        return reach_cache[net]
-
+    reach = circuit.output_reach_counts()
     scored = []
     for net, routed in routing.nets.items():
         if not routed.routes:
             continue
         span = sum(r.length for r in routed.routes)
-        influence = outputs_reached(net) if net in circuit.gates else 0
+        influence = reach.get(net, 0)
         scored.append((influence * 40.0 + len(routed.routes) * 10.0 + span, net))
     scored.sort(reverse=True)
     count = max(1, int(len(scored) * fraction))

@@ -372,6 +372,34 @@ class Circuit:
                 stack.append(reader)
         return seen
 
+    def output_reach_counts(self) -> dict[str, int]:
+        """Map net -> number of primary outputs in its fanout cone.
+
+        Equivalent to ``sum(1 for o in outputs if o in
+        transitive_fanout([net]))`` for every net at once, but computed
+        in a single reverse pass over the topological order with one
+        output-membership bitset per net instead of one scalar cone walk
+        per net.  The :meth:`transitive_fanout` semantics are preserved
+        exactly: a net observes itself when it is an output, and a DFF
+        reader joins the cone without being traversed through (its Q
+        output belongs to the next cycle).
+        """
+        out_bit: dict[str, int] = {}
+        for net in self.outputs:
+            if net not in out_bit:
+                out_bit[net] = 1 << len(out_bit)
+        fanout = self.fanout_map()
+        mask: dict[str, int] = {}
+        for net in reversed(self.topological_order()):
+            bits = out_bit.get(net, 0)
+            for reader in fanout[net]:
+                if self.gates[reader].is_dff:
+                    bits |= out_bit.get(reader, 0)
+                else:
+                    bits |= mask[reader]
+            mask[net] = bits
+        return {net: bits.bit_count() for net, bits in mask.items()}
+
     def support(self, nets: Iterable[str]) -> list[str]:
         """Source nets (INPUTs, TIEs, DFF outputs) feeding *nets*' cones."""
         cone = self.transitive_fanin(nets)

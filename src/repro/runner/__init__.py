@@ -33,6 +33,7 @@ from repro.runner.profiles import (
     ExperimentProfile,
     attack_smoke_campaign,
     current_profile,
+    defense_smoke_campaign,
     prorated_key_bits,
     smoke_campaign,
 )
@@ -51,6 +52,7 @@ from repro.runner.stages import (
     BenchRun,
     LockedDesign,
     cell_attack,
+    cell_defense,
     cell_layout,
     cell_run,
     layout_cost_runs,
@@ -75,11 +77,13 @@ __all__ = [
     "attack_smoke_campaign",
     "canonical_json",
     "cell_attack",
+    "cell_defense",
     "cell_layout",
     "cell_record",
     "cell_run",
     "current_profile",
     "default_workers",
+    "defense_smoke_campaign",
     "execute_attack_cell",
     "execute_cell",
     "expand",

@@ -10,8 +10,13 @@ Subcommands:
   layers and key sizes, optionally dumped to JSON;
 * ``attacks`` — an adversary-scenario campaign: named threat models
   (``netflow``, ``learned``, ``proximity``, ``oracle-key``, ...)
-  crossed with benchmarks, split layers and key sizes; ``--smoke``
-  runs the CI grid and checks the new engines beat the random floor;
+  crossed with benchmarks, split layers, key sizes and — via
+  ``--defenses`` — named defenses (``wire-lifting``, ``beol-restore``,
+  ``routing-perturbation``; ``none`` is the undefended baseline), so
+  one invocation runs a full defense x attack matrix; ``--smoke``
+  runs the CI grid and checks the new engines beat the random floor,
+  ``--matrix-smoke`` runs the defense matrix grid and checks every
+  defense measurably weakens the attacks;
 * ``smoke``  — one tiny end-to-end cell (the CI smoke job);
 * ``serve``  — the campaign service: an asyncio HTTP job server
   multiplexing concurrent campaign submissions onto one worker pool
@@ -35,6 +40,7 @@ from typing import Sequence
 
 from repro.adversary.evaluate import grid_verdict
 from repro.adversary.scenario import default_scenario_names
+from repro.defense import matrix_verdict
 from repro.runner.engine import (
     CampaignResult,
     run_attack_campaign,
@@ -46,6 +52,7 @@ from repro.runner.serialize import attack_record, cell_record
 from repro.runner.profiles import (
     attack_smoke_campaign,
     current_profile,
+    defense_smoke_campaign,
     prorated_key_bits,
     smoke_campaign,
 )
@@ -252,6 +259,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _attack_table(result) -> str:
     header = [
         "cell",
+        "defense",
         "scenario",
         "reg CCR",
         "key log",
@@ -267,6 +275,7 @@ def _attack_table(result) -> str:
         body.append(
             [
                 r.cell.cell.cell_id,
+                r.cell.defense.name if r.cell.defense else "-",
                 outcome.scenario.name,
                 f"{outcome.ccr.regular_ccr:.1f}",
                 f"{outcome.ccr.key_logical_ccr:.1f}",
@@ -294,12 +303,15 @@ def _smoke_verdict(result) -> tuple[bool, list[str]]:
 
 
 def _cmd_attacks(args: argparse.Namespace) -> int:
-    if args.smoke:
+    if args.matrix_smoke:
+        spec = defense_smoke_campaign()
+    elif args.smoke:
         spec = attack_smoke_campaign()
     else:
         if not args.benchmarks:
             print(
-                "error: attacks needs --benchmarks (or --smoke)",
+                "error: attacks needs --benchmarks "
+                "(or --smoke / --matrix-smoke)",
                 file=sys.stderr,
             )
             return 2
@@ -308,6 +320,9 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
             scenarios=tuple(args.scenarios.split(","))
             if args.scenarios
             else default_scenario_names(),
+            defenses=tuple(args.defenses.split(","))
+            if args.defenses
+            else ("none",),
             split_layers=tuple(int(s) for s in args.splits.split(",")),
             key_bits=tuple(int(k) for k in args.key_bits.split(",")),
             seed=args.seed,
@@ -330,6 +345,17 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     print(_attack_table(result))
     if args.json:
         _dump_json(args.json, [attack_record(r) for r in result.cells])
+    if args.matrix_smoke:
+        ok, problems = matrix_verdict(result.cells)
+        for line in problems:
+            print(f"[matrix] FAIL {line}", file=sys.stderr)
+        print(
+            "[matrix] every defense measurably weakens the attacks"
+            if ok
+            else "[matrix] acceptance FAILED",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
     if args.smoke:
         ok, problems = _smoke_verdict(result)
         for line in problems:
@@ -480,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
         "random floor on every cell",
     )
     attacks.add_argument(
+        "--matrix-smoke",
+        action="store_true",
+        help="run the CI defense x attack matrix grid and verify every "
+        "defense measurably weakens the attacks",
+    )
+    attacks.add_argument(
         "--benchmarks",
         default=None,
         help="comma-separated benchmark names/descriptors",
@@ -489,6 +521,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated scenario names (default: "
         "netflow,learned,proximity,random or REPRO_ATTACK_ENGINE)",
+    )
+    attacks.add_argument(
+        "--defenses",
+        default=None,
+        help="comma-separated defense names ('none' is the undefended "
+        "baseline; default: none, or REPRO_DEFENSE_SCHEME)",
     )
     attacks.add_argument("--splits", default="4", help="comma-separated layers")
     attacks.add_argument("--key-bits", default="128", help="comma-separated sizes")

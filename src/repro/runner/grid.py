@@ -8,9 +8,12 @@ through the on-disk cache — each cell re-opens, re-reads and re-unpickles
 the shared artifacts (or, cold and cacheless, recomputes them outright).
 
 :func:`plan_campaign` compiles the cell list into that DAG explicitly:
-cells with equal layout keys form a :class:`SiblingGroup`, groups with
-equal lock keys share a lock node above them.  :func:`run_fused_cells`
-then executes one *group* per task instead of one cell:
+cells with equal (layout, defense) key prefixes form a
+:class:`SiblingGroup` — defended attack cells additionally share the
+**defense** artifact, so the defended FEOL view is computed once per
+group — and groups with equal lock keys share a lock node above them.
+:func:`run_fused_cells` then executes one *group* per task instead of
+one cell:
 
 * the group's lock and layout are computed **once** and handed to every
   member in memory (``design=``/``layout=`` on the stage functions), so
@@ -55,8 +58,10 @@ from repro.runner.spec import AttackCellSpec, CellSpec
 from repro.runner.stages import (
     LockedDesign,
     cell_attack,
+    cell_defense,
     cell_layout,
     cell_run,
+    defense_payload,
     layout_payload,
     lock_payload,
     locked_design,
@@ -90,6 +95,10 @@ def _base_cell(cell: GridCell) -> CellSpec:
 class SiblingGroup:
     """Cells sharing one layout (and therefore one lock) artifact.
 
+    Defended attack cells also share one **defense** artifact:
+    ``defense_key`` is the defense-stage cache key, or ``""`` for
+    undefended members, so a defense x attack matrix splits each layout
+    into one group per defense while scenario siblings stay fused.
     ``indices`` point into the planned cell list, preserving original
     order so fused results reassemble into exact spec order.
     """
@@ -97,6 +106,7 @@ class SiblingGroup:
     lock_key: str
     layout_key: str
     indices: tuple[int, ...]
+    defense_key: str = ""
 
     def __len__(self) -> int:
         return len(self.indices)
@@ -125,25 +135,35 @@ class GridPlan:
 
 
 def plan_campaign(cells: Iterable[GridCell]) -> GridPlan:
-    """Group *cells* by their layout cache key, preserving first-seen
-    group order and per-group member order (both deterministic functions
-    of the input order, so plans are stable across processes)."""
+    """Group *cells* by their (layout, defense) cache-key prefix,
+    preserving first-seen group order and per-group member order (both
+    deterministic functions of the input order, so plans are stable
+    across processes).  Undefended cells carry an empty defense key, so
+    grids without a defense axis plan exactly as before."""
     cells = tuple(cells)
-    order: list[str] = []
-    members: dict[str, list[int]] = {}
-    lock_of: dict[str, str] = {}
+    order: list[tuple[str, str]] = []
+    members: dict[tuple[str, str], list[int]] = {}
+    lock_of: dict[tuple[str, str], str] = {}
     for index, cell in enumerate(cells):
         base = _base_cell(cell)
         layout_key = spec_key(layout_payload(base))
-        if layout_key not in members:
-            order.append(layout_key)
-            members[layout_key] = []
-            lock_of[layout_key] = spec_key(lock_payload(base))
-        members[layout_key].append(index)
+        defense = getattr(cell, "defense", None)
+        defense_key = (
+            spec_key(defense_payload(base, defense))
+            if defense is not None
+            else ""
+        )
+        key = (layout_key, defense_key)
+        if key not in members:
+            order.append(key)
+            members[key] = []
+            lock_of[key] = spec_key(lock_payload(base))
+        members[key].append(index)
     groups = tuple(
         SiblingGroup(
             lock_key=lock_of[key],
-            layout_key=key,
+            layout_key=key[0],
+            defense_key=key[1],
             indices=tuple(members[key]),
         )
         for key in order
@@ -201,13 +221,14 @@ def _run_group(
     design: LockedDesign | None = None,
     oracle_handle=None,
 ) -> tuple[list[CellResult | AttackCellResult], LockedDesign]:
-    """Execute one sibling group sharing lock/layout/programs in memory.
+    """Execute one group sharing lock/layout/defense/programs in memory.
 
     Returns the member results (group order) and the group's design so
     in-process callers can reuse it across groups sharing a lock.
     """
     results: list[CellResult | AttackCellResult] = []
     layout = None
+    defended = None
     with shared_reference_sweeps():
         for cell in cells:
             base = _base_cell(cell)
@@ -222,8 +243,25 @@ def _run_group(
                 if layout is None:
                     layout = cell_layout(base, cache, design=design)
                 if isinstance(cell, AttackCellSpec):
+                    if cell.defense is not None and defended is None:
+                        # Group members share one defense by plan
+                        # construction, so the defended view is
+                        # computed once and handed to every sibling.
+                        defended = cell_defense(
+                            base,
+                            cell.defense,
+                            cache,
+                            design=design,
+                            layout=layout,
+                        )
                     outcome = cell_attack(
-                        cell, cache, design=design, layout=layout
+                        cell,
+                        cache,
+                        design=design,
+                        layout=layout,
+                        defended=(
+                            defended if cell.defense is not None else None
+                        ),
                     )
                     results.append(
                         AttackCellResult(

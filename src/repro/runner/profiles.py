@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.adversary.scenario import default_scenario_names
 from repro.benchgen import TABLE_I_BENCHMARKS, profile
+from repro.defense import default_defense_names
 from repro.runner.spec import AttackCampaignSpec, CampaignSpec, DEFAULT_SEED
 from repro.utils.env import env_flag, env_scale
 
@@ -100,6 +101,26 @@ def attack_smoke_campaign() -> AttackCampaignSpec:
     return AttackCampaignSpec(
         benchmarks=("b14", "random:i14-o8-g200"),
         scenarios=scenarios,
+        split_layers=(4,),
+        key_bits=(16,),
+        seed=DEFAULT_SEED,
+        scale=0.03,
+        hd_patterns=2_048,
+        max_candidates=80,
+    )
+
+
+#: The ``attacks --matrix-smoke`` grid: one scaled b14 layout crossed
+#: with every registered defense scheme (plus the undefended baseline)
+#: and the verdict scenarios — the smallest grid on which
+#: :func:`repro.defense.matrix_verdict` can judge that each defense
+#: strictly lowers the attacker's effective regular recovery and that
+#: the lifting family holds Table III's CCR ~ 0 on protected nets.
+def defense_smoke_campaign() -> AttackCampaignSpec:
+    return AttackCampaignSpec(
+        benchmarks=("b14",),
+        scenarios=("netflow", "learned", "random"),
+        defenses=default_defense_names(),
         split_layers=(4,),
         key_bits=(16,),
         seed=DEFAULT_SEED,

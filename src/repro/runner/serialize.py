@@ -35,10 +35,12 @@ def attack_record(result: AttackCellResult) -> dict[str, Any]:
     """One adversary-scenario cell as a JSON-ready record.
 
     Mirrors the historical ``attacks --json`` shape (cell payload plus
-    the outcome's metric blocks) so existing consumers keep parsing.
+    the outcome's metric blocks) so existing consumers keep parsing;
+    defended cells append a ``defense`` block (identity plus the
+    arms-race verdict inputs) that undefended records omit entirely.
     """
     outcome = result.outcome
-    return {
+    record = {
         "cell": result.cell.to_payload(),
         "ccr": asdict(outcome.ccr),
         "pnr": asdict(outcome.pnr),
@@ -48,6 +50,14 @@ def attack_record(result: AttackCellResult) -> dict[str, Any]:
         "sim_engine": outcome.sim_engine,
         "seconds": result.seconds,
     }
+    if result.cell.defense is not None:
+        defense = dict(outcome.diagnostics.get("defense") or {})
+        recovery = outcome.diagnostics.get("recovery") or {}
+        defense["effective_regular_recovery"] = recovery.get(
+            "effective_regular_recovery"
+        )
+        record["defense"] = defense
+    return record
 
 
 def result_record(result: CellResult | AttackCellResult) -> dict[str, Any]:

@@ -26,6 +26,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.adversary.scenario import Scenario, parse_scenario
 from repro.attacks.proximity import ProximityAttackConfig
+from repro.defense.spec import DefenseSpec, resolve_defense
 from repro.benchgen import GeneratorConfig, profile
 from repro.locking.atpg_lock import AtpgLockConfig
 
@@ -214,49 +215,79 @@ class AttackCellSpec:
     The scenario must be *resolved* (concrete seed/budget) before the
     cell feeds the artifact cache; :meth:`AttackCampaignSpec.cells`
     resolves at expansion time so env-knob changes re-key instead of
-    aliasing.
+    aliasing.  The same applies to ``defense``: ``None`` is the
+    undefended baseline (keeping historical payloads and cache keys
+    unchanged), otherwise a *resolved*
+    :class:`~repro.defense.spec.DefenseSpec`.
     """
 
     cell: CellSpec
     scenario: Scenario
+    defense: DefenseSpec | None = None
 
     @property
     def cell_id(self) -> str:
-        """Human-readable identity, e.g. ``b14/M4/k128/netflow``."""
+        """Human-readable identity, e.g. ``b14/M4/k128/netflow`` (a
+        defended cell inserts the defense: ``b14/M4/k128/wire-lifting/
+        netflow``)."""
+        if self.defense is not None:
+            return (
+                f"{self.cell.cell_id}/{self.defense.name}"
+                f"/{self.scenario.name}"
+            )
         return f"{self.cell.cell_id}/{self.scenario.name}"
 
     @property
-    def result_key(self) -> tuple[str, int, int, int, int, int, str]:
-        """The base cell's :attr:`CellSpec.result_key` + scenario last."""
+    def result_key(self) -> tuple:
+        """The base cell's :attr:`CellSpec.result_key` + scenario last
+        (a defended cell slots the defense name before the scenario, so
+        consumers reading ``key[-1]`` still see the scenario)."""
+        if self.defense is not None:
+            return (
+                *self.cell.result_key,
+                self.defense.name,
+                self.scenario.name,
+            )
         return (*self.cell.result_key, self.scenario.name)
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "cell": self.cell.to_payload(),
             "scenario": self.scenario.to_payload(),
         }
+        if self.defense is not None:
+            payload["defense"] = self.defense.to_payload()
+        return payload
 
     @staticmethod
     def from_payload(payload: dict[str, Any]) -> "AttackCellSpec":
+        defense = payload.get("defense")
         return AttackCellSpec(
             cell=CellSpec.from_payload(payload["cell"]),
             scenario=Scenario.from_payload(payload["scenario"]),
+            defense=(
+                DefenseSpec.from_payload(defense)
+                if defense is not None
+                else None
+            ),
         )
 
 
 @dataclass(frozen=True)
 class AttackCampaignSpec:
-    """A threat-model grid: scenarios x benchmarks x splits x key sizes.
+    """A threat-model grid: defenses x scenarios x benchmarks x splits.
 
     Scenarios are referenced by registry name (see
-    :data:`repro.adversary.scenario.SCENARIOS`); the underlying
-    lock/layout cells are shared with the classic campaigns, so an
-    attack sweep over a grid that was already run only computes the new
-    ``attack`` stage.
+    :data:`repro.adversary.scenario.SCENARIOS`), defenses likewise (see
+    :data:`repro.defense.spec.DEFENSES`, plus the literal ``"none"``
+    undefended baseline); the underlying lock/layout cells are shared
+    with the classic campaigns, so an attack sweep over a grid that was
+    already run only computes the new ``defense`` and ``attack`` stages.
     """
 
     benchmarks: tuple[str, ...]
     scenarios: tuple[str, ...] = ("netflow", "learned", "random")
+    defenses: tuple[str, ...] = ("none",)
     split_layers: tuple[int, ...] = (4,)
     key_bits: tuple[int, ...] = (128,)
     seed: int = DEFAULT_SEED
@@ -272,10 +303,17 @@ class AttackCampaignSpec:
             parse_benchmark(name)
         for name in self.scenarios:
             parse_scenario(name)
+        for name in self.defenses:
+            resolve_defense(name)  # raises KeyError for unknown names
         if not self.benchmarks:
             raise ValueError("attack campaign needs at least one benchmark")
         if not self.scenarios:
             raise ValueError("attack campaign needs at least one scenario")
+        if not self.defenses:
+            raise ValueError(
+                "attack campaign needs at least one defense axis entry "
+                "('none' is the undefended baseline)"
+            )
         if not self.split_layers or not self.key_bits:
             raise ValueError("attack campaign needs split layers and key sizes")
 
@@ -296,12 +334,17 @@ class AttackCampaignSpec:
 
     def cells(self) -> tuple[AttackCellSpec, ...]:
         """Expand the grid; scenarios vary fastest so sibling scenario
-        cells of one layout land near each other in the schedule and
-        share their lock/layout artifacts early."""
+        cells of one (layout, defense) land near each other in the
+        schedule and share their lock/layout/defense artifacts early."""
         base = self.base_campaign().cells()
         return tuple(
-            AttackCellSpec(cell=cell, scenario=parse_scenario(name).resolve())
+            AttackCellSpec(
+                cell=cell,
+                scenario=parse_scenario(name).resolve(),
+                defense=resolve_defense(dname),
+            )
             for cell in base
+            for dname in self.defenses
             for name in self.scenarios
         )
 
@@ -311,7 +354,13 @@ class AttackCampaignSpec:
     @staticmethod
     def from_payload(payload: dict[str, Any]) -> "AttackCampaignSpec":
         data = dict(payload)
-        for key in ("benchmarks", "scenarios", "split_layers", "key_bits"):
+        for key in (
+            "benchmarks",
+            "scenarios",
+            "defenses",
+            "split_layers",
+            "key_bits",
+        ):
             if key in data:
                 data[key] = tuple(data[key])
         return AttackCampaignSpec(**data)

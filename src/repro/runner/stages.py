@@ -6,8 +6,11 @@ The cell pipeline factors into staged, individually-cached pieces —
   split layer and attack config of a benchmark),
 * **layout**  — the secure split layout (shared by every attack config),
 * **run**     — proximity attack + post-processing + CCR/HD/OER,
-* **attack**  — one adversary scenario mounted on the split layout
-  (shared lock/layout artifacts; one cache entry per scenario),
+* **defense** — one resolved defense spec applied to the split layout
+  (shared by every scenario attacking the same defended view),
+* **attack**  — one adversary scenario mounted on the (possibly
+  defended) split layout (shared lock/layout/defense artifacts; one
+  cache entry per scenario),
 
 — each a deterministic function of a :class:`~repro.runner.spec.CellSpec`
 slice.  Every stage is wrapped in the content-keyed on-disk cache
@@ -27,6 +30,7 @@ from repro.adversary.evaluate import AttackOutcome, run_scenario
 from repro.benchgen import load_iscas85, load_itc99, profile
 from repro.benchgen.random_logic import generate_random_circuit
 from repro.core.flow import SplitEvaluation, evaluate_split_layout
+from repro.defense import DefendedView, DefenseSpec, apply_defense
 from repro.locking.atpg_lock import AtpgLockReport, atpg_lock
 from repro.locking.key import LockedCircuit
 from repro.metrics.ccr import CcrReport
@@ -144,11 +148,23 @@ def run_payload(cell: CellSpec) -> dict[str, Any]:
     }
 
 
+def defense_payload(cell: CellSpec, spec: "DefenseSpec") -> dict[str, Any]:
+    # The nested layout payload carries the resolved layout engine, and
+    # the spec payload the scheme, so the key splits per
+    # (defense engine, spec, layout engine) — mirroring how the attack
+    # stage splits per resolved SAT/layout engine.
+    return {
+        "stage": "defense",
+        "layout": layout_payload(cell),
+        "defense": spec.to_payload(),
+    }
+
+
 def attack_payload(acell: AttackCellSpec) -> dict[str, Any]:
     from repro.sat.dispatch import resolve_sat_engine
 
     cell = acell.cell
-    return {
+    payload = {
         "stage": "attack",
         "layout": layout_payload(cell),
         "scenario": acell.scenario.to_payload(),
@@ -157,6 +173,11 @@ def attack_payload(acell: AttackCellSpec) -> dict[str, Any]:
         "hd_seed": cell.hd_seed,
         "sat_engine": resolve_sat_engine(),
     }
+    # Undefended cells keep their historical key shape; a defended cell
+    # bakes the full resolved defense spec into its attack key.
+    if acell.defense is not None:
+        payload["defense"] = acell.defense.to_payload()
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -256,24 +277,70 @@ def cell_run(
     return get_or_create(cache, "run", run_payload(cell), create)
 
 
+def cell_defense(
+    cell: CellSpec,
+    defense: DefenseSpec,
+    cache: ArtifactCache | None = None,
+    design: LockedDesign | None = None,
+    layout: PhysicalLayout | None = None,
+) -> DefendedView:
+    """Defense stage: one resolved defense applied to the split layout.
+
+    Sits between layout and attack: every scenario attacking the same
+    (layout, defense) pair shares one cached protected view.
+    """
+
+    def create() -> DefendedView:
+        local_layout = layout or cell_layout(cell, cache, design=design)
+        return apply_defense(defense, local_layout, cell.split_layer)
+
+    return get_or_create(
+        cache, "defense", defense_payload(cell, defense), create
+    )
+
+
 def cell_attack(
     acell: AttackCellSpec,
     cache: ArtifactCache | None = None,
     design: LockedDesign | None = None,
     layout: PhysicalLayout | None = None,
+    defended: DefendedView | None = None,
 ) -> AttackOutcome:
     """Attack stage: one adversary scenario on the cell's split layout.
 
     Builds on the same cached lock/layout artifacts as the classic
-    ``run`` stage, so a scenario sweep over an existing grid only pays
-    for the attacks themselves.
+    ``run`` stage (plus the cached defense stage for defended cells), so
+    a scenario sweep over an existing grid only pays for the attacks
+    themselves.
     """
     cell = acell.cell
 
     def create() -> AttackOutcome:
         local_design = design or locked_design(cell, cache)
         local_layout = layout or cell_layout(cell, cache, design=local_design)
-        view = local_layout.feol_view(cell.split_layer)
+        # The regular routed-connection count of the *undefended*
+        # layout: the constant denominator that makes defended and
+        # undefended recovery comparable (defenses never add key nets).
+        total_regular = sum(
+            len(routed.routes)
+            for routed in local_layout.routing.nets.values()
+            if not routed.is_key_net
+        )
+        protected = None
+        defense_info = None
+        if acell.defense is not None:
+            local_defended = defended or cell_defense(
+                cell,
+                acell.defense,
+                cache,
+                design=local_design,
+                layout=local_layout,
+            )
+            view = local_defended.view
+            protected = local_defended.protected_nets
+            defense_info = local_defended.summary()
+        else:
+            view = local_layout.feol_view(cell.split_layer)
         return run_scenario(
             acell.scenario,
             view,
@@ -285,6 +352,9 @@ def cell_attack(
             hd_seed=cell.hd_seed,
             postprocess_seed=cell.postprocess_seed,
             cache=cache,
+            total_regular_connections=total_regular,
+            protected_nets=protected,
+            defense_info=defense_info,
         )
 
     return get_or_create(cache, "attack", attack_payload(acell), create)

@@ -46,7 +46,10 @@ from repro.utils.env import env_cache_dir
 #: the flow (locking, layout or attack algorithms).
 #: v2: HdOerReport gained the ``engine`` provenance field — pre-bump
 #: pickles would restore without it and break ``asdict``/JSON dumps.
-CACHE_VERSION = 2
+#: v3: AttackOutcome diagnostics gained the ``recovery`` (and, for
+#: defended cells, ``defense``) blocks — the defense-matrix verdict
+#: reads them, so pre-bump attack artifacts would fail it as stale.
+CACHE_VERSION = 3
 
 #: Suffix of in-flight write temp files (see :meth:`ArtifactCache.put`).
 TMP_SUFFIX = ".tmp"

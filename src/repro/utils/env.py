@@ -33,6 +33,16 @@ Knobs:
 * ``REPRO_ATTACK_ENGINE`` — default attack-engine selection for the
   ``attacks`` campaign CLI (validated against the engine registry by
   :mod:`repro.adversary.scenario`).
+* ``REPRO_DEFENSE_SEED``     — default defense-spec seed (``0`` is a
+  valid seed; parsed with :func:`env_int` like the attack seed).
+* ``REPRO_DEFENSE_FRACTION`` — defense strength override: the fraction
+  of candidate nets a defense protects (``0 < f <= 1``; empty = each
+  scheme's published default).  Participates in the resolved
+  ``DefenseSpec`` and therefore in the defense/attack cache keys.
+* ``REPRO_DEFENSE_SCHEME``   — restrict the default defense axis of the
+  ``attacks`` campaign CLI to one named defense (validated against the
+  defense registry by :mod:`repro.defense.spec`; ``none`` selects the
+  undefended baseline only).
 * ``REPRO_GRID_FUSE``      — campaign grid fusion (default **on**).
   :func:`repro.runner.engine.run_campaign` routes cells through the
   grid compiler (:mod:`repro.runner.grid`): sibling cells sharing a
@@ -144,6 +154,29 @@ def env_positive_int(name: str, default: int | None = None) -> int | None:
     if value <= 0:
         raise ValueError(
             f"{name}={os.environ.get(name)!r} must be > 0; unset it (or "
+            "leave it empty) to use the default"
+        )
+    return value
+
+
+def env_fraction(name: str, default: float | None = None) -> float | None:
+    """Parse a fraction knob in ``(0, 1]``; unset or empty means *default*.
+
+    Defense strengths are fractions of a candidate population, so both
+    ``0`` (protect nothing — the ``none`` defense expresses that) and
+    values above ``1`` are configuration errors reported loudly rather
+    than clamped.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not a number") from exc
+    if not 0.0 < value <= 1.0:
+        raise ValueError(
+            f"{name}={raw!r} must be a fraction in (0, 1]; unset it (or "
             "leave it empty) to use the default"
         )
     return value

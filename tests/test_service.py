@@ -20,8 +20,8 @@ import json
 
 import pytest
 
-from repro.runner import run_campaign
-from repro.runner.serialize import canonical_json, cell_record
+from repro.runner import run_attack_campaign, run_campaign
+from repro.runner.serialize import attack_record, canonical_json, cell_record
 from repro.runner.spec import (
     AttackCampaignSpec,
     CampaignSpec,
@@ -52,6 +52,19 @@ E2E = CampaignSpec(
 ATTACK_E2E = AttackCampaignSpec(
     benchmarks=("random:i8-o4-g60",),
     scenarios=("netflow", "random"),
+    split_layers=(4,),
+    key_bits=(10,),
+    scale=1.0,
+    hd_patterns=256,
+    max_candidates=60,
+)
+
+#: Defense x attack matrix over the same layout: two defense axis
+#: points, one scenario — four cells, the service's matrix-job shape.
+MATRIX_E2E = AttackCampaignSpec(
+    benchmarks=("random:i8-o4-g60",),
+    scenarios=("netflow",),
+    defenses=("none", "wire-lifting-lite", "routing-perturbation"),
     split_layers=(4,),
     key_bits=(10,),
     scale=1.0,
@@ -126,7 +139,11 @@ def test_cell_key_is_the_cache_content_key():
 # Spec envelope round trip
 
 
-@pytest.mark.parametrize("spec", [E2E, ATTACK_E2E], ids=["campaign", "attacks"])
+@pytest.mark.parametrize(
+    "spec",
+    [E2E, ATTACK_E2E, MATRIX_E2E],
+    ids=["campaign", "attacks", "matrix"],
+)
 def test_spec_payload_round_trips_through_json(spec):
     envelope = json.loads(json.dumps(spec_payload(spec)))
     assert parse_spec_payload(envelope) == spec
@@ -227,6 +244,31 @@ def test_attack_job_over_http(client):
         "random",
     }
     assert all("ccr" in r and "pnr" in r for r in results)
+
+
+def test_matrix_job_matches_in_process_execution(client):
+    summary, results, errors, done = _streamed(client, MATRIX_E2E)
+    assert summary["kind"] == "attacks"
+    assert summary["cells"]["total"] == 3
+    assert not errors and done["state"] == "done"
+
+    reference = run_attack_campaign(MATRIX_E2E, workers=1, use_cache=False)
+    expected = [attack_record(r) for r in reference.cells]
+    stripped = [
+        {k: v for k, v in r.items() if k not in ("event", "index")}
+        for r in results
+    ]
+    assert canonical_json(stripped) == canonical_json(expected)
+    # defended records carry the arms-race block, the baseline does not
+    by_defense = {
+        (r["cell"].get("defense") or {}).get("name"): r for r in results
+    }
+    assert set(by_defense) == {None, "wire-lifting-lite",
+                               "routing-perturbation"}
+    assert "defense" not in by_defense[None]
+    assert (
+        by_defense["wire-lifting-lite"]["defense"]["protected_nets"] > 0
+    )
 
 
 def test_concurrent_identical_jobs_are_deduped(client):
