@@ -134,6 +134,15 @@ GATES: dict[str, tuple[Metric, ...]] = {
             direction="lower",
             tolerance=ABSOLUTE_TOLERANCE,
         ),
+        # Cross-group reuse on the pool path: affinity-routed bundles +
+        # the worker-resident artifact tier vs the per-group shape.
+        Metric("group_reuse_speedup", lambda p: p["group_reuse_speedup"]),
+        Metric(
+            "affinity_wall_seconds",
+            lambda p: p["affinity_wall_seconds"],
+            direction="lower",
+            tolerance=ABSOLUTE_TOLERANCE,
+        ),
     ),
     "BENCH_layout": (
         Metric(

@@ -48,6 +48,12 @@ from repro.runner.stages import (
     layout_cost_runs,
     locked_design,
 )
+from repro.runner.worker import (
+    enable_worker_runtime,
+    worker_cache_budget_bytes,
+    worker_stats_delta,
+    worker_stats_snapshot,
+)
 from repro.utils.artifact_cache import ArtifactCache, CacheStats
 from repro.utils.env import env_flag, env_int
 
@@ -206,12 +212,15 @@ def execute_cell(
     """Run one cell end to end (module-level: picklable to workers)."""
     cache = _open_cache(cache_dir, use_cache)
     start = time.perf_counter()
+    tier_before = worker_stats_snapshot()
     run = cell_run(cell, cache)
+    stats = cache.stats if cache is not None else CacheStats()
+    stats.worker = worker_stats_delta(tier_before)
     return CellResult(
         cell=cell,
         run=run,
         seconds=time.perf_counter() - start,
-        cache=cache.stats if cache is not None else CacheStats(),
+        cache=stats,
     )
 
 
@@ -234,12 +243,15 @@ def execute_attack_cell(
     """Run one attack cell end to end (module-level: picklable)."""
     cache = _open_cache(cache_dir, use_cache)
     start = time.perf_counter()
+    tier_before = worker_stats_snapshot()
     outcome = cell_attack(acell, cache)
+    stats = cache.stats if cache is not None else CacheStats()
+    stats.worker = worker_stats_delta(tier_before)
     return AttackCellResult(
         cell=acell,
         outcome=outcome,
         seconds=time.perf_counter() - start,
-        cache=cache.stats if cache is not None else CacheStats(),
+        cache=stats,
     )
 
 
@@ -265,6 +277,18 @@ class CampaignExecutor:
     Cells stay pure functions of their spec, so sharing the pool never
     couples jobs — the cache directory and policy are fixed per
     executor, exactly like one runner invocation.
+
+    Every worker boots with its resident artifact tier enabled
+    (:mod:`repro.runner.worker`): the parent resolves the
+    ``REPRO_WORKER_CACHE_MB`` budget once and ships it through the pool
+    initializer — worker-side environment reads would be unreliable
+    under forkserver, whose server process snapshots the environment
+    when the *first* pool starts.  ``segments`` is the executor-owned
+    :class:`~repro.sim.shared.SegmentRegistry`: shared-memory exports
+    made on the executor's behalf live exactly as long as the executor,
+    so a service keeping one executor across jobs reuses one segment
+    per unique artifact, and :meth:`shutdown` (plus the registry's
+    atexit guard) sweeps them all.
     """
 
     def __init__(
@@ -273,11 +297,17 @@ class CampaignExecutor:
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
     ) -> None:
+        from repro.sim.shared import SegmentRegistry
+
         self.workers = max(1, workers if workers is not None else default_workers())
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.use_cache = use_cache
+        self.segments = SegmentRegistry()
         self._pool = ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=_mp_context()
+            max_workers=self.workers,
+            mp_context=_mp_context(),
+            initializer=enable_worker_runtime,
+            initargs=(worker_cache_budget_bytes(),),
         )
 
     def submit(self, worker: Callable, cell, **kwargs):
@@ -296,6 +326,12 @@ class CampaignExecutor:
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         self._pool.shutdown(wait=wait, cancel_futures=cancel_pending)
+        if wait:
+            # The pool drained: no worker still attaches the segments,
+            # so the campaign-spanning exports can finally be unlinked.
+            # (A no-wait shutdown leaves them to the atexit guard —
+            # an in-flight task may be about to attach one.)
+            self.segments.release()
 
     def __enter__(self) -> "CampaignExecutor":
         return self

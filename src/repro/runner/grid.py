@@ -29,6 +29,22 @@ one cell:
   :mod:`multiprocessing.shared_memory` and ships workers a kilobyte
   handle (:mod:`repro.sim.shared`) instead of a pickled circuit.
 
+On top of the per-group fusion sits **affinity-aware dispatch**
+(``REPRO_GRID_AFFINITY``, default on): :func:`plan_bundles` collapses
+every sibling group sharing a lock into one :class:`LockBundle`, and
+the pool path submits one lock-key-sorted *bundle* per task, so a
+worker computes (or attaches) each lock exactly once for all of its
+groups, threading the design through them like the serial path does.
+With a cache, the parent additionally exports each unique lock — the
+oracle's compiled program *and* the locked design itself
+(:func:`repro.sim.shared.export_blob`) — into one shared-memory
+segment per artifact, registered with the executor-owned
+:class:`~repro.sim.shared.SegmentRegistry` whose lifetime spans the
+campaign (and, for a shared executor, every campaign it serves).
+Workers pin the attached artifacts in their resident tier
+(:mod:`repro.runner.worker`), so repeated traffic never re-unpickles
+them.
+
 Everything is bit-identical to the unfused path: the fusion only moves
 *where* shared artifacts are computed and how their programs travel —
 never what is computed.  ``tests/test_grid.py`` enforces the identity
@@ -66,20 +82,31 @@ from repro.runner.stages import (
     lock_payload,
     locked_design,
 )
+from repro.runner.worker import (
+    active_runtime,
+    worker_stats_delta,
+    worker_stats_snapshot,
+)
 from repro.sim.compiled import compile_circuit
 from repro.sim.shared import (
+    SharedBlobHandle,
+    attach_blob,
     attach_program,
+    export_blob,
     export_program,
     install_program,
-    release_segment,
 )
 from repro.utils.artifact_cache import CacheStats, StageStats, spec_key
+from repro.utils.env import env_flag
 
 __all__ = [
     "SiblingGroup",
     "GridPlan",
+    "LockBundle",
     "plan_campaign",
+    "plan_bundles",
     "execute_group",
+    "execute_bundle",
     "run_fused_cells",
 ]
 
@@ -176,10 +203,12 @@ def plan_campaign(cells: Iterable[GridCell]) -> GridPlan:
 
 
 def _stats_snapshot(cache) -> CacheStats:
+    snap = CacheStats()
+    snap.worker = worker_stats_snapshot()
     if cache is None:
-        return CacheStats()
+        return snap
     stats = cache.stats
-    snap = CacheStats(stats.hits, stats.misses, stats.stores)
+    snap.hits, snap.misses, snap.stores = stats.hits, stats.misses, stats.stores
     for name, stage in stats.stages.items():
         snap.stages[name] = StageStats(
             stage.hits, stage.misses, stage.stores, stage.compute_seconds
@@ -188,15 +217,19 @@ def _stats_snapshot(cache) -> CacheStats:
 
 
 def _stats_delta(before: CacheStats, cache) -> CacheStats:
-    """Cache activity since *before* — each member's own attribution."""
+    """Cache + worker-tier activity since *before* — per-member attribution.
+
+    Worker-tier counters move even cacheless (the tier serves artifacts
+    the disk never saw), so they are tracked unconditionally.
+    """
+    delta = CacheStats()
+    delta.worker = worker_stats_delta(before.worker)
     if cache is None:
-        return CacheStats()
+        return delta
     after = cache.stats
-    delta = CacheStats(
-        hits=after.hits - before.hits,
-        misses=after.misses - before.misses,
-        stores=after.stores - before.stores,
-    )
+    delta.hits = after.hits - before.hits
+    delta.misses = after.misses - before.misses
+    delta.stores = after.stores - before.stores
     for name, stage in after.stages.items():
         prior = before.stages.get(name, StageStats())
         moved = StageStats(
@@ -211,8 +244,34 @@ def _stats_delta(before: CacheStats, cache) -> CacheStats:
 
 
 def _adopt_oracle(design: LockedDesign, handle) -> None:
-    """Install a shared-memory oracle program onto the group's core."""
-    install_program(design.core, attach_program(handle))
+    """Install a shared-memory oracle program onto the group's core.
+
+    Skipped when the core already carries a valid compiled program —
+    a tier-resident design keeps its installed (attached or compiled)
+    program across tasks, and re-attaching would only map a fresh
+    segment view of the identical arrays.
+    """
+    core = design.core
+    cached = getattr(core, "_compiled_cache", None)
+    if (
+        cached is not None
+        and cached._topo_ref is not None
+        and cached._topo_ref is getattr(core, "_topo_cache", None)
+    ):
+        return
+    install_program(core, attach_program(handle))
+
+
+def _design_from_handle(handle: SharedBlobHandle) -> LockedDesign:
+    """The exported locked design, served from the tier when resident."""
+    runtime = active_runtime()
+    if runtime is None:
+        return attach_blob(handle)
+    design = runtime.get(handle.stage, handle.key)
+    if design is None:
+        design = attach_blob(handle)
+        runtime.put(handle.stage, handle.key, design)
+    return design
 
 
 def _run_group(
@@ -220,11 +279,15 @@ def _run_group(
     cache,
     design: LockedDesign | None = None,
     oracle_handle=None,
+    design_handle: SharedBlobHandle | None = None,
 ) -> tuple[list[CellResult | AttackCellResult], LockedDesign]:
     """Execute one group sharing lock/layout/defense/programs in memory.
 
     Returns the member results (group order) and the group's design so
     in-process callers can reuse it across groups sharing a lock.
+    *design_handle*, when present, is the parent's shared-memory export
+    of the design — attached (or tier-served) instead of re-deriving it
+    through the lock stage.
     """
     results: list[CellResult | AttackCellResult] = []
     layout = None
@@ -235,6 +298,8 @@ def _run_group(
             start = time.perf_counter()
             before = _stats_snapshot(cache)
             try:
+                if design is None and design_handle is not None:
+                    design = _design_from_handle(design_handle)
                 if design is None:
                     design = locked_design(base, cache)
                 if oracle_handle is not None:
@@ -306,21 +371,114 @@ def execute_group(
 
 
 # ---------------------------------------------------------------------------
+# Affinity-aware dispatch: groups sharing a lock bundled into one task
+
+
+@dataclass(frozen=True)
+class LockBundle:
+    """Every sibling group of one lock, dispatched as a single task.
+
+    The executing worker threads the lock's design through its groups
+    exactly like the serial path, so the lock is computed (or attached)
+    once per bundle instead of once per group.
+    """
+
+    lock_key: str
+    groups: tuple[SiblingGroup, ...]
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    @property
+    def cell_count(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+
+def plan_bundles(plan: GridPlan, slots: int | None = None) -> list[LockBundle]:
+    """Bundle *plan*'s groups by lock key, lock-key-sorted (stable).
+
+    With *slots*, over-wide bundles are split (largest first, by cell
+    count) until every pool slot has work or no bundle has more than
+    one group left — a split bundle's halves recompute the lock twice,
+    which still beats idle workers.  The result is a deterministic
+    function of (plan, slots), so submission order is reproducible.
+    """
+    by_lock: dict[str, list[SiblingGroup]] = {}
+    for group in plan.groups:
+        by_lock.setdefault(group.lock_key, []).append(group)
+    bundles = [
+        LockBundle(lock_key=key, groups=tuple(groups))
+        for key, groups in sorted(by_lock.items())
+    ]
+    if slots is not None:
+        while len(bundles) < slots:
+            widest = max(
+                bundles, key=lambda b: (len(b.groups), b.cell_count, b.lock_key)
+            )
+            if len(widest.groups) < 2:
+                break
+            half = len(widest.groups) // 2
+            bundles.remove(widest)
+            bundles.append(LockBundle(widest.lock_key, widest.groups[:half]))
+            bundles.append(LockBundle(widest.lock_key, widest.groups[half:]))
+        bundles.sort(key=lambda b: (b.lock_key, b.groups[0].indices[0]))
+    return bundles
+
+
+def execute_bundle(
+    group_cells: Sequence[Sequence[GridCell]],
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    lock_keys: Sequence[str] = (),
+    oracle_handles: dict | None = None,
+    design_handles: dict | None = None,
+) -> list[list[CellResult | AttackCellResult]]:
+    """Pool worker: one lock bundle, group by group (module-level: picklable).
+
+    The design resolved for the first group of each lock key is threaded
+    through the key's later groups in-process; *oracle_handles* /
+    *design_handles* map lock keys to the parent's shared-memory exports.
+    """
+    cache = _open_cache(cache_dir, use_cache)
+    oracle_handles = oracle_handles or {}
+    design_handles = design_handles or {}
+    designs: dict[str, LockedDesign] = {}
+    out: list[list[CellResult | AttackCellResult]] = []
+    for cells, lock_key in zip(group_cells, lock_keys):
+        results, design = _run_group(
+            cells,
+            cache,
+            design=designs.get(lock_key),
+            oracle_handle=oracle_handles.get(lock_key),
+            design_handle=design_handles.get(lock_key),
+        )
+        designs[lock_key] = design
+        out.append(results)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Fused campaign driver
 
 
-def _export_oracles(plan: GridPlan, cache) -> tuple[dict, list]:
+def _export_oracles(plan: GridPlan, cache, registry) -> dict:
     """Pre-compute each unique lock and export its oracle program.
 
-    Returns handles by lock key plus the live segments (caller releases
-    them after the workers finish).  Pre-computing in the parent also
-    guarantees sibling *groups* sharing a lock never duplicate the lock
-    computation across workers — the cache serves it to every group.
+    Returns handles by lock key.  Each segment is registered with
+    *registry* the moment it exists, so an exception mid-export (or a
+    worker failure later) can never strand it — the registry's owner
+    (and its atexit guard) sweeps everything.  Pre-computing in the
+    parent also guarantees sibling *groups* sharing a lock never
+    duplicate the lock computation across workers — the cache serves it
+    to every group.
     """
     handles: dict[str, object] = {}
-    segments: list = []
     for group in plan.groups:
         if group.lock_key in handles:
+            continue
+        cached = registry.lookup("oracle", group.lock_key)
+        if cached is not None:
+            handles[group.lock_key] = cached
             continue
         base = _base_cell(plan.cells[group.indices[0]])
         design = locked_design(base, cache)
@@ -330,9 +488,82 @@ def _export_oracles(plan: GridPlan, cache) -> tuple[dict, list]:
             handles[group.lock_key] = None
             continue
         handle, segment = export_program(program)
-        segments.append(segment)
+        registry.store("oracle", group.lock_key, handle, segment)
         handles[group.lock_key] = handle
-    return handles, segments
+    return handles
+
+
+def _export_artifacts(plan: GridPlan, cache, registry) -> tuple[dict, dict]:
+    """Affinity-path parent exports: oracle program + design blob per lock.
+
+    The parent already pays the lock load (disk hit, or compute + store
+    on a cold cache), so shipping the deserialized design costs one
+    pickle into one segment that *every* bundle and group of the lock
+    reads — workers skip the per-task disk unpickle entirely.  A
+    registry shared across campaigns (the service executor's) serves
+    repeat campaigns from the existing segments without touching the
+    lock stage at all.
+    """
+    oracle_handles: dict[str, object] = {}
+    design_handles: dict[str, object] = {}
+    for group in plan.groups:
+        key = group.lock_key
+        if key in design_handles:
+            continue
+        cached_design = registry.lookup("lock", key)
+        if cached_design is not None:
+            design_handles[key] = cached_design
+            oracle = registry.lookup("oracle", key)
+            if oracle is not None:
+                oracle_handles[key] = oracle
+            continue
+        base = _base_cell(plan.cells[group.indices[0]])
+        design = locked_design(base, cache)
+        # Export the blob before compiling: the pickled design must not
+        # drag the compiled program (shipped separately, zero-copy) in.
+        handle, segment = export_blob(design, stage="lock", key=key)
+        registry.store("lock", key, handle, segment)
+        design_handles[key] = handle
+        try:
+            program = compile_circuit(design.core)
+        except ValueError:  # sequential core: no compiled program to ship
+            continue
+        ohandle, osegment = export_program(program)
+        registry.store("oracle", key, ohandle, osegment)
+        oracle_handles[key] = ohandle
+    return oracle_handles, design_handles
+
+
+def _resolve_affinity(affinity: bool | None) -> bool:
+    """Explicit argument wins; else the ``REPRO_GRID_AFFINITY`` knob."""
+    if affinity is not None:
+        return affinity
+    return env_flag("REPRO_GRID_AFFINITY", default=True)
+
+
+def _collect_pool(futures, units, plan, ordered, result_groups) -> None:
+    """Fail-fast collection shared by both pool dispatch shapes.
+
+    *units* are the submitted work units (groups or bundles);
+    *result_groups(unit, result)* yields ``(group, member_results)``
+    pairs to scatter into *ordered* by original cell index.
+    """
+    by_future = dict(zip(futures, units))
+    done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    failed = next((f for f in done if f.exception() is not None), None)
+    if failed is not None:
+        for future in not_done:
+            future.cancel()
+        exc = failed.exception()
+        if isinstance(exc, CellExecutionError):
+            raise exc
+        unit = by_future[failed]
+        group = unit.groups[0] if isinstance(unit, LockBundle) else unit
+        raise _wrap_cell_error(plan.cells[group.indices[0]], exc) from exc
+    for future, unit in zip(futures, units):
+        for group, results in result_groups(unit, future.result()):
+            for index, result in zip(group.indices, results):
+                ordered[index] = result
 
 
 def run_fused_cells(
@@ -340,25 +571,41 @@ def run_fused_cells(
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    executor: CampaignExecutor | None = None,
+    affinity: bool | None = None,
 ) -> list[CellResult | AttackCellResult]:
     """Execute *cells* through the grid plan; results in input order.
 
     Serial (one worker or one group): groups run in-process, reusing
-    designs across groups that share a lock.  Pool: one task per group;
-    the parent pre-computes unique locks and ships compiled oracle
-    programs via shared memory (cache-backed runs only — without a
-    cache there is no channel to hand workers the precomputed design,
-    so each group computes its own lock).
+    designs across groups that share a lock.  Pool, affinity on (the
+    default): one task per :class:`LockBundle` — every group of a lock
+    lands on one worker, which resolves the lock once; with a cache the
+    parent exports each unique lock (design blob + oracle program) into
+    shared memory shared by all of its groups.  Pool, affinity off: one
+    task per sibling group (the pre-runtime shape, kept for A/B
+    benchmarking), oracle programs still shipped per unique lock.
+
+    *executor*, when given, must be a live :class:`CampaignExecutor`;
+    its pool, cache policy and segment registry are used and it is NOT
+    shut down — consecutive campaigns on one executor reuse both warm
+    workers (their resident artifact tiers) and the registry's exported
+    segments.  Otherwise a private executor is created and torn down,
+    releasing every segment exported for this campaign.
     """
     cells = tuple(cells)
     if not cells:
         return []
     plan = plan_campaign(cells)
+    if executor is not None:
+        if workers is None:
+            workers = executor.workers
+        cache_dir = executor.cache_dir
+        use_cache = executor.use_cache
     count = workers if workers is not None else default_workers()
     count = max(1, min(count, len(plan.groups)))
     ordered: dict[int, CellResult | AttackCellResult] = {}
 
-    if count == 1:
+    if count == 1 and executor is None:
         cache = _open_cache(cache_dir, use_cache)
         designs: dict[str, LockedDesign] = {}
         for group in plan.groups:
@@ -372,14 +619,49 @@ def run_fused_cells(
                 ordered[index] = result
         return [ordered[i] for i in range(len(cells))]
 
-    handles: dict[str, object] = {}
-    segments: list = []
+    own_executor = executor is None
+    if own_executor:
+        executor = CampaignExecutor(count, cache_dir, use_cache)
     try:
-        if use_cache:
-            handles, segments = _export_oracles(
-                plan, _open_cache(cache_dir, use_cache)
+        if _resolve_affinity(affinity):
+            bundles = plan_bundles(plan, slots=count)
+            oracle_handles: dict = {}
+            design_handles: dict = {}
+            if use_cache:
+                oracle_handles, design_handles = _export_artifacts(
+                    plan, _open_cache(cache_dir, use_cache), executor.segments
+                )
+            futures = [
+                executor.submit(
+                    execute_bundle,
+                    [plan.group_cells(g) for g in bundle.groups],
+                    lock_keys=[g.lock_key for g in bundle.groups],
+                    oracle_handles={
+                        bundle.lock_key: oracle_handles[bundle.lock_key]
+                    }
+                    if oracle_handles.get(bundle.lock_key) is not None
+                    else None,
+                    design_handles={
+                        bundle.lock_key: design_handles[bundle.lock_key]
+                    }
+                    if design_handles.get(bundle.lock_key) is not None
+                    else None,
+                )
+                for bundle in bundles
+            ]
+            _collect_pool(
+                futures,
+                bundles,
+                plan,
+                ordered,
+                lambda bundle, result: zip(bundle.groups, result),
             )
-        with CampaignExecutor(count, cache_dir, use_cache) as executor:
+        else:
+            handles: dict = {}
+            if use_cache:
+                handles = _export_oracles(
+                    plan, _open_cache(cache_dir, use_cache), executor.segments
+                )
             futures = [
                 executor.submit(
                     execute_group,
@@ -388,25 +670,18 @@ def run_fused_cells(
                 )
                 for group in plan.groups
             ]
-            by_future = dict(zip(futures, plan.groups))
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            failed = next(
-                (f for f in done if f.exception() is not None), None
+            _collect_pool(
+                futures,
+                plan.groups,
+                plan,
+                ordered,
+                lambda group, result: [(group, result)],
             )
-            if failed is not None:
-                for future in not_done:
-                    future.cancel()
-                exc = failed.exception()
-                if isinstance(exc, CellExecutionError):
-                    raise exc
-                group = by_future[failed]
-                raise _wrap_cell_error(
-                    plan.cells[group.indices[0]], exc
-                ) from exc
-            for future, group in zip(futures, plan.groups):
-                for index, result in zip(group.indices, future.result()):
-                    ordered[index] = result
     finally:
-        for segment in segments:
-            release_segment(segment)
+        if own_executor:
+            # Shutdown waits out the pool, then sweeps the registry —
+            # segments are released exactly once even when a worker
+            # task raised mid-group (and the registry's atexit guard
+            # backstops hard exits).
+            executor.shutdown()
     return [ordered[i] for i in range(len(cells))]

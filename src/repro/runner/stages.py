@@ -19,6 +19,14 @@ slice.  Every stage is wrapped in the content-keyed on-disk cache
 reuse instead of recompute.  Changing any spec field that feeds a stage
 changes its key and transparently invalidates it and everything
 downstream.
+
+The artifact-heavy stages (lock, layout, defense) additionally route
+through the worker-resident in-memory tier
+(:func:`repro.runner.worker.worker_tier`): in pool workers that enabled
+their runtime, a repeat of a hot configuration serves the already
+deserialized object — same content key, so same artifact — and skips
+both the disk read and (cacheless) the recompute.  Outside pool workers
+the hook is an exact passthrough.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from repro.phys.layout import (
     build_unprotected_layout,
 )
 from repro.runner.spec import AttackCellSpec, CellSpec, parse_benchmark
+from repro.runner.worker import worker_tier
 from repro.utils.artifact_cache import ArtifactCache, get_or_create
 
 
@@ -206,7 +215,10 @@ def locked_design(
         locked, report = atpg_lock(core, cell.lock_config())
         return LockedDesign(cell.benchmark, core, locked, report)
 
-    return get_or_create(cache, "lock", lock_payload(cell), create)
+    payload = lock_payload(cell)
+    return worker_tier(
+        "lock", payload, lambda: get_or_create(cache, "lock", payload, create)
+    )
 
 
 def cell_layout(
@@ -227,7 +239,12 @@ def cell_layout(
             prelift=prelift,
         )
 
-    return get_or_create(cache, "layout", layout_payload(cell, prelift), create)
+    payload = layout_payload(cell, prelift)
+    return worker_tier(
+        "layout",
+        payload,
+        lambda: get_or_create(cache, "layout", payload, create),
+    )
 
 
 def unprotected_layout(
@@ -294,8 +311,11 @@ def cell_defense(
         local_layout = layout or cell_layout(cell, cache, design=design)
         return apply_defense(defense, local_layout, cell.split_layer)
 
-    return get_or_create(
-        cache, "defense", defense_payload(cell, defense), create
+    payload = defense_payload(cell, defense)
+    return worker_tier(
+        "defense",
+        payload,
+        lambda: get_or_create(cache, "defense", payload, create),
     )
 
 

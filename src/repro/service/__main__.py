@@ -5,6 +5,9 @@ Subcommands:
 * ``ping``   — block until a server answers ``/healthz`` (boot gate);
 * ``verify`` — assert the HTTP stream is bit-identical to the CLI path
   (optionally that a rerun is fully cache-served);
+* ``warm``   — run one campaign twice against a live (cacheless)
+  executor and assert the warm-worker pass is bit-identical with
+  nonzero worker-cache hits (the persistent-runtime CI gate);
 * ``stress`` — self-hosted concurrency stress proving exactly-once
   computation and artifact integrity under concurrent tenants.
 
@@ -61,6 +64,19 @@ def main(argv: list[str] | None = None) -> int:
         help="additionally assert the submission caused zero cache misses",
     )
 
+    warm = commands.add_parser(
+        "warm",
+        help="run a campaign twice on one live (cacheless) executor and "
+        "assert warm-worker results are bit-identical with nonzero "
+        "worker-cache hits",
+    )
+    warm.add_argument("--url", default=DEFAULT_URL)
+    warm.add_argument(
+        "--campaign",
+        action="store_true",
+        help="use the classic smoke campaign instead of the attack grid",
+    )
+
     stress = commands.add_parser(
         "stress",
         help="self-hosted concurrent-duplicate-submission stress",
@@ -86,6 +102,10 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             expect_cached=args.expect_cached,
         )
+    if args.command == "warm":
+        from repro.service.verify import run_warm_verify
+
+        return run_warm_verify(args.url, attacks=not args.campaign)
     from repro.service.stress import StressFailure, run_stress
 
     try:

@@ -151,3 +151,72 @@ def run_verify(
             return 1
         _log("PASS: rerun served entirely from the artifact cache")
     return 0
+
+
+def _worker_hits(metrics: dict[str, Any]) -> int:
+    return metrics["cache"].get("worker", {}).get("hits", 0)
+
+
+def run_warm_verify(url: str, attacks: bool = True) -> int:
+    """Warm-worker pass: the same campaign twice on one live executor.
+
+    Targets a **cache-disabled** server (``serve --no-cache``): without
+    the disk tier, every artifact a second pass skips recomputing was
+    served by the *worker-resident* runtime — the bit-identity of the
+    two streamed result sets proves the reuse tier changes nothing,
+    and the ``/metrics`` worker-cache counters prove it actually served
+    (a cache-backed server would short-circuit at the run/attack stage
+    and never touch the lock artifacts the tier pins).
+    """
+    spec = attack_smoke_campaign() if attacks else smoke_campaign()
+    client = ServiceClient(url)
+    client.wait_healthy()
+
+    cold_metrics = client.metrics()
+    cold_records, cold_done = streamed_records(client, spec)
+    mid_metrics = client.metrics()
+    warm_records, warm_done = streamed_records(client, spec)
+    warm_metrics = client.metrics()
+    for label, done in (("cold", cold_done), ("warm", warm_done)):
+        if done.get("state") != "done":
+            _log(f"FAIL: {label} job finished in state {done.get('state')!r}")
+            return 1
+    _log(
+        f"cold pass {cold_done['wall_seconds']:.1f}s, "
+        f"warm pass {warm_done['wall_seconds']:.1f}s "
+        f"({len(warm_records)} cells each)"
+    )
+
+    if canonical_json(cold_records) != canonical_json(warm_records):
+        for index, (cold, warm) in enumerate(
+            zip(cold_records, warm_records)
+        ):
+            if canonical_json([cold]) != canonical_json([warm]):
+                _log(f"FAIL: first cold/warm divergence at record {index}:")
+                _log(f"  cold: {canonical_json([cold])[:400]}")
+                _log(f"  warm: {canonical_json([warm])[:400]}")
+                break
+        return 1
+    _log("PASS: warm-worker results bit-identical to the cold pass")
+
+    disk_activity = (
+        warm_metrics["cache"]["hits"] - cold_metrics["cache"]["hits"]
+    ) + (warm_metrics["cache"]["misses"] - cold_metrics["cache"]["misses"])
+    if disk_activity != 0:
+        _log(
+            f"FAIL: expected a cacheless server but the disk cache moved "
+            f"({disk_activity} accesses) — warm hits would be ambiguous"
+        )
+        return 1
+    warm_hits = _worker_hits(warm_metrics) - _worker_hits(mid_metrics)
+    if warm_hits <= 0:
+        _log(
+            "FAIL: warm pass reported no worker-cache hits "
+            f"(metrics: {warm_metrics['cache'].get('worker')})"
+        )
+        return 1
+    _log(
+        f"PASS: warm pass served {warm_hits} artifact(s) from the "
+        "worker-resident tier"
+    )
+    return 0

@@ -1,4 +1,4 @@
-"""Shared-memory transport for compiled simulation programs.
+"""Shared-memory transport for compiled programs and large artifacts.
 
 A :class:`~repro.sim.compiled.CompiledCircuit` is mostly a handful of
 NumPy arrays (bucket fanin-slot matrices, invert masks, output/tie slot
@@ -10,6 +10,13 @@ into **one** :mod:`multiprocessing.shared_memory` segment plus a small
 picklable :class:`SharedProgramHandle`, and reattaches them in workers
 as zero-copy views.
 
+The same transport generalises to any large immutable artifact
+(:func:`export_blob` / :func:`attach_blob`): the parent pickles the
+object into one named segment and every task of every worker reads
+from *that* segment instead of receiving a multi-megabyte copy in its
+task payload — one export per unique lock serves all of its sibling
+groups.
+
 The round trip is exact: attached programs hold the same array contents
 (and the same metadata) as the original, so every sweep is bit-identical
 to one over a locally compiled program.  Lifetime rules:
@@ -18,7 +25,12 @@ to one over a locally compiled program.  Lifetime rules:
   ``SharedMemory`` alive while workers run and ``close()``/``unlink()``
   it afterwards (:func:`release_segment`);
 * an **attached** program pins its segment via a reference on the
-  program object, so its arrays stay valid for the program's lifetime.
+  program object, so its arrays stay valid for the program's lifetime
+  (an unlink by the exporter removes the name, not the live mapping);
+* exporters that outlive a single function scope track their segments
+  in a :class:`SegmentRegistry`, which sweeps them on explicit release
+  **and** at interpreter exit, so a task that raises mid-campaign can
+  never strand named segments.
 
 :func:`install_program` adopts an attached (or otherwise foreign)
 program as a circuit's cached compiled program, after validating that
@@ -27,9 +39,12 @@ the program actually describes that circuit.
 
 from __future__ import annotations
 
+import atexit
 import pickle
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
 
@@ -38,9 +53,13 @@ from repro.sim.compiled import CompiledCircuit, _Bucket
 
 __all__ = [
     "SharedProgramHandle",
+    "SharedBlobHandle",
+    "SegmentRegistry",
     "export_program",
     "attach_program",
     "install_program",
+    "export_blob",
+    "attach_blob",
     "release_segment",
 ]
 
@@ -229,10 +248,119 @@ def install_program(
     return compiled
 
 
+@dataclass(frozen=True)
+class SharedBlobHandle:
+    """Picklable descriptor of one pickled artifact in shared memory.
+
+    *stage*/*key* carry the artifact's content identity (its cache
+    stage and ``spec_key``), so attaching workers can pin the
+    deserialized object in their resident artifact tier under the very
+    key a disk fetch would have used.
+    """
+
+    shm_name: str
+    nbytes: int
+    stage: str
+    key: str
+
+
+def export_blob(
+    value: Any, stage: str = "", key: str = ""
+) -> tuple[SharedBlobHandle, shared_memory.SharedMemory]:
+    """Pickle *value* into a fresh segment; returns (handle, segment).
+
+    Unlike :func:`export_program` the payload is opaque — workers
+    deserialize a private copy — but the *transport* is still one
+    segment per artifact instead of one pickle per task: every sibling
+    group of a lock reads the same bytes.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    segment.buf[: len(payload)] = payload
+    handle = SharedBlobHandle(
+        shm_name=segment.name, nbytes=len(payload), stage=stage, key=key
+    )
+    return handle, segment
+
+
+def attach_blob(handle: SharedBlobHandle) -> Any:
+    """Deserialize the exporter's blob; the segment is not retained."""
+    segment = _attach_segment(handle.shm_name)
+    try:
+        return pickle.loads(bytes(segment.buf[: handle.nbytes]))
+    finally:
+        segment.close()
+
+
 def release_segment(segment: shared_memory.SharedMemory) -> None:
-    """Close and unlink *segment* (exporter side, after workers finish)."""
+    """Close and unlink *segment* (exporter side, after workers finish).
+
+    Idempotent: cleanup runs from ``finally`` blocks, registry sweeps
+    *and* an atexit guard, so the same segment may be released along
+    several paths — repeats are no-ops, and a segment another process
+    (or a prior call) already unlinked is not an error.
+    """
+    if getattr(segment, "_repro_released", False):
+        return
+    segment._repro_released = True
     segment.close()
     try:
         segment.unlink()
     except FileNotFoundError:  # already unlinked — idempotent cleanup
         pass
+
+
+class SegmentRegistry:
+    """Parent-owned ledger of live exported segments, keyed by content.
+
+    Exports are registered the instant they exist, so an exception
+    anywhere between an export and the campaign's cleanup can never
+    strand a named segment: :meth:`release` (called from the owning
+    executor's shutdown and from ``finally`` sweeps) and the module
+    atexit guard both walk the ledger.  The (stage, key) index lets a
+    long-lived owner — the service's :class:`CampaignExecutor` — reuse
+    one export across every campaign that needs the same artifact.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._handles: dict[tuple[str, str], Any] = {}
+        _live_registries.add(self)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def adopt(self, segment: shared_memory.SharedMemory) -> None:
+        """Take cleanup responsibility for an anonymous *segment*."""
+        self._segments.append(segment)
+
+    def store(
+        self, stage: str, key: str, handle: Any, segment: shared_memory.SharedMemory
+    ) -> None:
+        """Register an export under its content identity for reuse."""
+        self._segments.append(segment)
+        self._handles[(stage, key)] = handle
+
+    def lookup(self, stage: str, key: str) -> Any:
+        """A previously stored handle, or ``None``."""
+        return self._handles.get((stage, key))
+
+    def release(self) -> int:
+        """Release every tracked segment; idempotent.  Returns the count."""
+        released = 0
+        while self._segments:
+            release_segment(self._segments.pop())
+            released += 1
+        self._handles.clear()
+        return released
+
+
+#: Every live registry, swept at interpreter exit so segments never
+#: outlive the exporting process even on unclean shutdown paths.
+_live_registries: "weakref.WeakSet[SegmentRegistry]" = weakref.WeakSet()
+
+
+@atexit.register
+def _sweep_registries() -> None:
+    for registry in list(_live_registries):
+        registry.release()

@@ -101,18 +101,51 @@ class StageStats:
 
 
 @dataclass
+class WorkerStats:
+    """Counters of a process-resident worker artifact tier.
+
+    The tier (:mod:`repro.runner.worker`) is an in-memory LRU keyed by
+    the same ``spec_key`` content keys as this cache; its counters ride
+    inside :class:`CacheStats` so campaign results and the service's
+    ``/metrics`` surface them next to the disk-cache numbers.
+    ``resident_*`` are gauges (what the tier pins *right now*), so
+    merging takes their max where the counters sum.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    resident_bytes: int = 0
+    resident_entries: int = 0
+
+    def merge(self, other: "WorkerStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+        self.resident_bytes = max(self.resident_bytes, other.resident_bytes)
+        self.resident_entries = max(
+            self.resident_entries, other.resident_entries
+        )
+
+
+@dataclass
 class CacheStats:
     """Hit/miss counters of one :class:`ArtifactCache` instance.
 
     Aggregate counters plus a per-stage breakdown; both survive the
     pickle hop back from pool workers, so campaign results (and the
     service's ``/metrics``) can attribute cost to individual stages.
+    ``worker`` carries the worker-resident artifact tier's counters for
+    the same execution slice.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     stages: dict[str, StageStats] = field(default_factory=dict)
+    worker: WorkerStats = field(default_factory=WorkerStats)
 
     def stage(self, name: str) -> StageStats:
         return self.stages.setdefault(name, StageStats())
@@ -123,6 +156,7 @@ class CacheStats:
         self.stores += other.stores
         for name, stats in other.stages.items():
             self.stage(name).merge(stats)
+        self.worker.merge(other.worker)
 
 
 @dataclass

@@ -51,6 +51,21 @@ Knobs:
   fast path is the default; ``REPRO_GRID_FUSE=0`` opts out and an
   explicit ``fuse=`` argument on the campaign entry points overrides
   the knob either way.
+* ``REPRO_GRID_AFFINITY``  — affinity-aware pool dispatch (default
+  **on**).  The fused pool path submits sibling groups sharing a lock
+  as one lock-key-sorted bundle per task, so each worker computes (or
+  unpickles) a lock at most once and the worker-resident artifact tier
+  serves repeats.  Results are bit-identical either way;
+  ``REPRO_GRID_AFFINITY=0`` restores one task per sibling group (the
+  pre-runtime shape, kept for A/B benchmarking).
+* ``REPRO_WORKER_CACHE_MB`` — byte budget (mebibytes) of the
+  per-worker in-memory artifact tier (:mod:`repro.runner.worker`),
+  default ``256``.  Pool workers pin deserialized locks, layouts and
+  defended views in a content-keyed LRU so repeated traffic on hot
+  configurations skips re-unpickling (and, cacheless, recomputing)
+  them.  ``0`` disables the tier.  The knob is resolved *outside* the
+  cache keys: the tier serves the same content-keyed artifacts the
+  disk cache would, so its size can never change a result.
 
 Campaign-service knobs (defaults for ``python -m repro.runner serve``,
 resolved by :mod:`repro.service.config`; CLI flags override them):
@@ -209,6 +224,27 @@ def env_str(name: str, default: str | None = None) -> str | None:
     if raw is None or raw.strip() == "":
         return default
     return raw.strip()
+
+
+#: Default byte budget of the per-worker artifact tier (mebibytes).
+DEFAULT_WORKER_CACHE_MB = 256
+
+
+def env_worker_cache_mb(name: str = "REPRO_WORKER_CACHE_MB") -> int:
+    """Byte budget (MiB) of the worker-resident artifact tier.
+
+    Unset or empty means the default; ``0`` is meaningful (disable the
+    tier), so only negative values are configuration errors.
+    """
+    value = env_int(name)
+    if value is None:
+        return DEFAULT_WORKER_CACHE_MB
+    if value < 0:
+        raise ValueError(
+            f"{name}={os.environ.get(name)!r} must be >= 0 "
+            "(0 disables the worker artifact tier)"
+        )
+    return value
 
 
 def env_cache_dir(name: str = "REPRO_CACHE_DIR") -> Path:

@@ -112,6 +112,19 @@ def test_fused_pool_bit_identical(unfused_runs, tmp_path):
     assert _canon(fused) == _canon(unfused_runs)
 
 
+def test_affinity_routing_bit_identical(unfused_runs, tmp_path):
+    """Lock-affine bundles vs per-group dispatch: same records exactly."""
+    per_group = run_fused_cells(
+        GRID, workers=2, cache_dir=tmp_path / "a", affinity=False
+    )
+    bundled = run_fused_cells(
+        GRID, workers=2, cache_dir=tmp_path / "b", affinity=True
+    )
+    records = canonical_json([result_record(r) for r in bundled])
+    assert records == canonical_json([result_record(r) for r in per_group])
+    assert records == _canon(unfused_runs)
+
+
 def test_fused_attacks_bit_identical():
     unfused = run_attack_campaign(
         ATTACKS, workers=1, use_cache=False, fuse=False

@@ -1,0 +1,317 @@
+"""Persistent worker runtime: LRU tier, blob transport, segment lifetime.
+
+Three contracts under test:
+
+* the worker-resident artifact tier (:mod:`repro.runner.worker`) is a
+  correct byte-budgeted LRU whose presence is unobservable in results
+  (same content keys as the disk cache, passthrough when disabled);
+* the shared-memory blob transport and :class:`SegmentRegistry`
+  round-trip exactly and release idempotently, including via the
+  atexit sweep;
+* **no named shared-memory segment outlives a campaign** — after a
+  fused pool campaign, after a mid-group worker failure, and after
+  ``CampaignExecutor.shutdown``, ``/dev/shm`` holds nothing new.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.runner.worker as worker_module
+from repro.runner.engine import CampaignExecutor, CellExecutionError
+from repro.runner.grid import plan_bundles, plan_campaign, run_fused_cells
+from repro.runner.serialize import canonical_json, result_record
+from repro.runner.spec import CellSpec
+from repro.runner.worker import (
+    WorkerRuntime,
+    active_runtime,
+    enable_worker_runtime,
+    worker_stats_delta,
+    worker_stats_snapshot,
+    worker_tier,
+)
+from repro.sim.shared import (
+    SegmentRegistry,
+    _sweep_registries,
+    attach_blob,
+    export_blob,
+    release_segment,
+)
+from repro.utils.env import env_worker_cache_mb
+
+BASE = CellSpec(
+    benchmark="random:i10-o5-g90",
+    split_layer=4,
+    key_bits=10,
+    hd_patterns=512,
+    max_candidates=60,
+)
+
+#: Two sibling groups over one lock (split layer re-keys the layout).
+GRID = [
+    BASE,
+    replace(BASE, hd_seed=6),
+    replace(BASE, split_layer=6),
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_runtime():
+    """Tests flip the process-global tier; never leak it across tests."""
+    saved = worker_module._runtime
+    yield
+    worker_module._runtime = saved
+
+
+def _canon(results) -> str:
+    return canonical_json([result_record(r) for r in results])
+
+
+# ---------------------------------------------------------------------------
+# WorkerRuntime LRU semantics
+
+
+def test_runtime_counts_hits_and_misses():
+    runtime = WorkerRuntime(budget_bytes=1 << 20)
+    assert runtime.get("lock", "a") is None
+    runtime.put("lock", "a", "artifact", nbytes=10)
+    assert runtime.get("lock", "a") == "artifact"
+    assert (runtime.stats.hits, runtime.stats.misses) == (1, 1)
+    assert runtime.stats.stores == 1
+    assert runtime.stats.resident_entries == 1
+
+
+def test_runtime_evicts_in_lru_order():
+    runtime = WorkerRuntime(budget_bytes=30)
+    runtime.put("s", "a", "A", nbytes=10)
+    runtime.put("s", "b", "B", nbytes=10)
+    runtime.put("s", "c", "C", nbytes=10)
+    # Touch `a`: it becomes most-recent, so `b` is now the LRU head.
+    assert runtime.get("s", "a") == "A"
+    runtime.put("s", "d", "D", nbytes=10)
+    assert runtime.keys() == [("s", "c"), ("s", "a"), ("s", "d")]
+    assert runtime.get("s", "b") is None  # evicted, not `a`
+    assert runtime.stats.evictions == 1
+
+
+def test_runtime_enforces_byte_budget():
+    runtime = WorkerRuntime(budget_bytes=25)
+    for key, size in (("a", 10), ("b", 10), ("c", 10)):
+        runtime.put("s", key, key.upper(), nbytes=size)
+    assert runtime.resident_bytes <= 25
+    assert runtime.stats.evictions == 1
+    assert len(runtime) == 2
+
+
+def test_runtime_rejects_oversized_value():
+    runtime = WorkerRuntime(budget_bytes=10)
+    runtime.put("s", "small", "x", nbytes=5)
+    runtime.put("s", "huge", "y" * 100, nbytes=100)
+    # The oversized value is dropped without displacing the tier.
+    assert runtime.keys() == [("s", "small")]
+    assert runtime.stats.evictions == 0
+    assert runtime.stats.stores == 1
+
+
+def test_runtime_replacing_a_key_does_not_double_count_bytes():
+    runtime = WorkerRuntime(budget_bytes=100)
+    runtime.put("s", "a", "old", nbytes=40)
+    runtime.put("s", "a", "new", nbytes=60)
+    assert runtime.resident_bytes == 60
+    assert len(runtime) == 1
+    assert runtime.get("s", "a") == "new"
+
+
+def test_runtime_measures_pickled_size_when_unspecified():
+    runtime = WorkerRuntime(budget_bytes=1 << 20)
+    payload = np.arange(1024, dtype=np.int64)
+    runtime.put("s", "arr", payload)
+    assert runtime.resident_bytes > payload.nbytes  # pickle overhead
+
+
+# ---------------------------------------------------------------------------
+# The process-global hook
+
+
+def test_worker_tier_is_passthrough_when_disabled():
+    assert enable_worker_runtime(0) is None
+    assert active_runtime() is None
+    calls = []
+    payload = {"stage": "lock", "x": 1}
+    for _ in range(2):
+        worker_tier("lock", payload, lambda: calls.append(1) or "value")
+    assert len(calls) == 2  # fetched every time: no tier in this process
+
+
+def test_worker_tier_serves_repeats_when_enabled():
+    runtime = enable_worker_runtime(1 << 20)
+    assert active_runtime() is runtime
+    calls = []
+    payload = {"stage": "lock", "x": 1}
+    first = worker_tier("lock", payload, lambda: calls.append(1) or "value")
+    second = worker_tier("lock", payload, lambda: calls.append(1) or "other")
+    assert first == second == "value"
+    assert len(calls) == 1
+    assert runtime.stats.hits == 1 and runtime.stats.misses == 1
+
+
+def test_worker_stats_delta_tracks_counters_and_gauges():
+    enable_worker_runtime(1 << 20)
+    payload = {"stage": "lock", "x": 1}
+    worker_tier("lock", payload, lambda: "value")
+    before = worker_stats_snapshot()
+    worker_tier("lock", payload, lambda: "value")
+    delta = worker_stats_delta(before)
+    assert (delta.hits, delta.misses, delta.stores) == (1, 0, 0)
+    assert delta.resident_entries == 1
+    assert delta.resident_bytes > 0
+
+
+def test_env_worker_cache_mb(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKER_CACHE_MB", raising=False)
+    assert env_worker_cache_mb() == 256
+    monkeypatch.setenv("REPRO_WORKER_CACHE_MB", "64")
+    assert env_worker_cache_mb() == 64
+    monkeypatch.setenv("REPRO_WORKER_CACHE_MB", "0")
+    assert env_worker_cache_mb() == 0  # 0 is meaningful: tier disabled
+    monkeypatch.setenv("REPRO_WORKER_CACHE_MB", "-1")
+    with pytest.raises(ValueError):
+        env_worker_cache_mb()
+
+
+# ---------------------------------------------------------------------------
+# Blob transport and segment lifetime
+
+
+def test_blob_round_trip():
+    payload = {"arrays": np.arange(64).reshape(8, 8), "name": "blob"}
+    handle, segment = export_blob(payload, stage="lock", key="k123")
+    try:
+        clone = attach_blob(handle)
+        assert clone["name"] == "blob"
+        assert (clone["arrays"] == payload["arrays"]).all()
+        assert (handle.stage, handle.key) == ("lock", "k123")
+    finally:
+        release_segment(segment)
+
+
+def test_release_segment_is_idempotent():
+    _, segment = export_blob({"x": 1})
+    release_segment(segment)
+    release_segment(segment)  # second release: a clean no-op
+
+
+def test_segment_registry_releases_once_and_forgets_handles():
+    registry = SegmentRegistry()
+    handle, segment = export_blob({"x": 1}, stage="lock", key="k")
+    registry.store("lock", "k", handle, segment)
+    assert registry.lookup("lock", "k") is handle
+    assert registry.lookup("lock", "other") is None
+    assert registry.release() == 1
+    assert registry.lookup("lock", "k") is None
+    assert registry.release() == 0  # idempotent
+
+
+def test_atexit_guard_sweeps_live_registries():
+    registry = SegmentRegistry()
+    _, segment = export_blob({"x": 1})
+    registry.adopt(segment)
+    _sweep_registries()
+    assert len(registry) == 0
+    release_segment(segment)  # already released: must not raise
+
+
+# ---------------------------------------------------------------------------
+# Bundle planning
+
+
+def test_plan_bundles_sorts_by_lock_key_and_keeps_groups():
+    cells = GRID + [replace(BASE, key_bits=8)]  # a second lock
+    plan = plan_campaign(cells)
+    bundles = plan_bundles(plan)
+    assert [b.lock_key for b in bundles] == sorted(b.lock_key for b in bundles)
+    assert sum(len(b.groups) for b in bundles) == len(plan.groups)
+    assert sum(b.cell_count for b in bundles) == len(cells)
+
+
+def test_plan_bundles_splits_widest_bundle_to_fill_slots():
+    plan = plan_campaign(GRID)  # one lock, two groups
+    assert len(plan_bundles(plan)) == 1
+    split = plan_bundles(plan, slots=2)
+    assert len(split) == 2
+    assert {len(b.groups) for b in split} == {1}
+    assert split[0].groups[0].indices[0] < split[1].groups[0].indices[0]
+    # Can't split past one group per bundle.
+    assert len(plan_bundles(plan, slots=8)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory lifetime across real pool campaigns
+
+SHM_DIR = Path("/dev/shm")
+
+needs_dev_shm = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="needs a POSIX /dev/shm to observe segments"
+)
+
+
+def _segment_names() -> set[str]:
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+@needs_dev_shm
+def test_no_segment_leak_after_fused_pool_campaign(tmp_path):
+    before = _segment_names()
+    results = run_fused_cells(GRID, workers=2, cache_dir=tmp_path)
+    assert len(results) == len(GRID)
+    assert _segment_names() - before == set()
+
+
+@needs_dev_shm
+def test_no_segment_leak_after_mid_group_worker_failure(tmp_path):
+    # Locks fine (the parent exports its segments), then the layout
+    # stage raises inside the worker mid-bundle.
+    bad = replace(BASE, utilization=-1.0)
+    before = _segment_names()
+    with pytest.raises(CellExecutionError):
+        run_fused_cells(GRID + [bad], workers=2, cache_dir=tmp_path)
+    assert _segment_names() - before == set()
+
+
+@needs_dev_shm
+def test_executor_shutdown_releases_registered_segments(tmp_path):
+    before = _segment_names()
+    executor = CampaignExecutor(1, tmp_path, True)
+    handle, segment = export_blob({"x": 1}, stage="lock", key="k")
+    executor.segments.store("lock", "k", handle, segment)
+    assert _segment_names() - before != set()
+    executor.shutdown()
+    assert _segment_names() - before == set()
+
+
+# ---------------------------------------------------------------------------
+# Warm workers on a shared executor: reuse with bit-identity
+
+
+def test_shared_executor_serves_second_campaign_from_warm_tier(tmp_path):
+    executor = CampaignExecutor(1, tmp_path, True)
+    try:
+        cold = run_fused_cells(GRID, executor=executor)
+        exported = len(executor.segments)
+        assert exported > 0  # lock design blob + oracle program
+        warm = run_fused_cells(GRID, executor=executor)
+        # The second campaign reused the registry's exports...
+        assert len(executor.segments) == exported
+        # ...and the worker's resident tier actually served artifacts.
+        assert sum(r.cache.worker.hits for r in warm) > 0
+        assert _canon(warm) == _canon(cold)
+    finally:
+        executor.shutdown()
+    if SHM_DIR.is_dir():
+        assert not [
+            s for s in executor.segments._segments
+        ], "registry still holds segments after shutdown"
